@@ -1,0 +1,19 @@
+"""Shared configuration for the experiment benchmarks.
+
+Each benchmark reproduces one experiment from DESIGN.md / EXPERIMENTS.md and
+prints the table or series the paper's claim corresponds to, in addition to
+timing the run via pytest-benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def emit(table) -> None:
+    """Print an experiment table so it appears in the benchmark output."""
+    print()
+    print(table.render())

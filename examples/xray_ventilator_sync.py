@@ -1,0 +1,60 @@
+"""X-ray / ventilator interoperability case study (Section II(b) of the paper).
+
+Compares three ways of taking intra-operative chest X-rays of a ventilated
+patient:
+
+* ``manual``        -- the clinician pauses and (hopefully) restarts the
+                       ventilator by hand;
+* ``pause_restart`` -- the X-ray machine commands the ventilator over the
+                       device network;
+* ``state_broadcast`` -- the ventilator publishes its breathing phase and the
+                       X-ray machine fires inside the end-expiratory window,
+                       never pausing ventilation.
+
+Run with::
+
+    python examples/xray_ventilator_sync.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.tables import Table
+from repro.scenarios.xray_vent import XRayVentilatorConfig, XRayVentilatorScenario
+
+
+def main() -> None:
+    table = Table(
+        "Intra-operative imaging of a ventilated patient (10 image requests)",
+        ["coordination", "sharp images", "blurred", "apnea episodes", "max apnea (s)",
+         "unsafe apneas", "ventilator left paused"],
+    )
+    cases = [
+        ("manual", dict(forget_restart_probability=0.15)),
+        ("pause_restart", dict()),
+        ("pause_restart", dict(command_loss_probability=0.3)),
+        ("state_broadcast", dict()),
+    ]
+    for mode, overrides in cases:
+        config = XRayVentilatorConfig(mode=mode, image_requests=10, request_period_s=120.0,
+                                      seed=5, **overrides)
+        result = XRayVentilatorScenario(config).run()
+        label = mode
+        if overrides.get("command_loss_probability"):
+            label += " (lossy network)"
+        if overrides.get("forget_restart_probability"):
+            label += " (15% forget restart)"
+        table.add_row(label, result.sharp_images, result.blurred_images, result.apnea_episodes,
+                      result.max_apnea_time_s, result.unsafe_apnea_events,
+                      result.ventilator_left_paused)
+    print(table.render())
+    print()
+    print("State broadcasting keeps the patient ventilated throughout while still producing")
+    print("sharp images -- the safer alternative the paper describes, at the cost of tighter")
+    print("timing requirements on the device network.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Alarm systems: threshold, patient-adaptive, and multivariate smart alarms.
+
+Section III(i) of the paper describes the false-alarm / alarm-fatigue problem
+and two remedies enabled by interoperability: patient-adaptive thresholds
+informed by the EHR, and multivariate "smart alarms" that correlate signals
+from several devices before alerting the caregiver.  Section III(l)'s
+mixed-criticality example adds context events (bed height changes) as a
+third suppression source.
+
+* :class:`~repro.alarms.thresholds.ThresholdAlarm` -- classic fixed-threshold
+  alarm on a single vital sign.
+* :class:`~repro.alarms.adaptive.AdaptiveThresholdAlarm` -- thresholds
+  derived from the patient's EHR baselines.
+* :class:`~repro.alarms.smart.SmartAlarmEngine` -- rule-based multivariate
+  correlation and context-event suppression.
+* :class:`~repro.alarms.fatigue.AlarmFatigueModel` -- caregiver attention as
+  a function of false-alarm exposure.
+"""
+
+from repro.alarms.thresholds import AlarmEvent, AlarmSeverity, ThresholdAlarm, ThresholdRule
+from repro.alarms.adaptive import AdaptiveThresholdAlarm, adaptive_rules_for_patient
+from repro.alarms.smart import ContextEvent, SmartAlarmEngine, SuppressionRule
+from repro.alarms.fatigue import AlarmFatigueModel
+
+__all__ = [
+    "AlarmEvent",
+    "AlarmSeverity",
+    "ThresholdAlarm",
+    "ThresholdRule",
+    "AdaptiveThresholdAlarm",
+    "adaptive_rules_for_patient",
+    "ContextEvent",
+    "SmartAlarmEngine",
+    "SuppressionRule",
+    "AlarmFatigueModel",
+]

@@ -1,0 +1,124 @@
+"""Patient-adaptive alarm thresholds derived from EHR baselines.
+
+The paper's example (Section III(i)): "well-trained athletes can have heart
+rates that would be considered abnormal in most patients.  Having the
+patient's exercise history from the EHR will let the system adjust alarm
+thresholds, reducing false alarms."  The adaptive alarm derives each
+patient's limits from their recorded baselines (with configurable relative
+margins) instead of using population-wide fixed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.alarms.thresholds import AlarmSeverity, ThresholdAlarm, ThresholdRule
+from repro.ehr.store import EHRStore
+
+
+@dataclass
+class AdaptiveMargins:
+    """Relative margins applied to per-patient baselines.
+
+    heart_rate_low_fraction:
+        The low heart-rate limit is ``baseline * heart_rate_low_fraction``.
+    spo2_drop:
+        The SpO2 limit is ``baseline - spo2_drop`` percentage points.
+    respiratory_rate_low_fraction:
+        The low respiratory-rate limit relative to baseline.
+    map_drop_mmhg:
+        The low MAP limit is ``baseline - map_drop_mmhg``.
+    """
+
+    heart_rate_low_fraction: float = 0.65
+    heart_rate_high_fraction: float = 1.7
+    spo2_drop: float = 6.0
+    respiratory_rate_low_fraction: float = 0.55
+    map_drop_mmhg: float = 25.0
+
+    def validate(self) -> None:
+        if not 0 < self.heart_rate_low_fraction < 1:
+            raise ValueError("heart_rate_low_fraction must be in (0, 1)")
+        if self.heart_rate_high_fraction <= 1:
+            raise ValueError("heart_rate_high_fraction must exceed 1")
+        if self.spo2_drop <= 0 or self.map_drop_mmhg <= 0:
+            raise ValueError("drops must be positive")
+        if not 0 < self.respiratory_rate_low_fraction < 1:
+            raise ValueError("respiratory_rate_low_fraction must be in (0, 1)")
+
+
+def adaptive_rules_for_patient(
+    ehr: EHRStore,
+    patient_id: str,
+    margins: Optional[AdaptiveMargins] = None,
+) -> List[ThresholdRule]:
+    """Build per-patient threshold rules from EHR baselines.
+
+    Falls back to the population defaults for any vital without a baseline.
+    """
+    margins = margins or AdaptiveMargins()
+    margins.validate()
+    hr_baseline = ehr.baseline(patient_id, "heart_rate_bpm", default=72.0)
+    rr_baseline = ehr.baseline(patient_id, "respiratory_rate_bpm", default=14.0)
+    spo2_baseline = ehr.baseline(patient_id, "spo2_percent", default=97.0)
+    map_baseline = ehr.baseline(patient_id, "map_mmhg", default=90.0)
+
+    rules = [
+        ThresholdRule(
+            vital="spo2",
+            threshold=max(85.0, spo2_baseline - margins.spo2_drop),
+            direction="below",
+            severity=AlarmSeverity.CRITICAL,
+        ),
+        ThresholdRule(
+            vital="heart_rate",
+            threshold=hr_baseline * margins.heart_rate_low_fraction,
+            direction="below",
+            severity=AlarmSeverity.WARNING,
+        ),
+        ThresholdRule(
+            vital="heart_rate",
+            threshold=hr_baseline * margins.heart_rate_high_fraction,
+            direction="above",
+            severity=AlarmSeverity.WARNING,
+        ),
+        ThresholdRule(
+            vital="respiratory_rate",
+            threshold=rr_baseline * margins.respiratory_rate_low_fraction,
+            direction="below",
+            severity=AlarmSeverity.CRITICAL,
+        ),
+        ThresholdRule(
+            vital="map",
+            threshold=map_baseline - margins.map_drop_mmhg,
+            direction="below",
+            severity=AlarmSeverity.CRITICAL,
+        ),
+    ]
+    return rules
+
+
+class AdaptiveThresholdAlarm(ThresholdAlarm):
+    """A :class:`ThresholdAlarm` whose rules come from the patient's EHR."""
+
+    def __init__(
+        self,
+        source: str,
+        ehr: EHRStore,
+        patient_id: str,
+        *,
+        margins: Optional[AdaptiveMargins] = None,
+        rearm_time_s: float = 60.0,
+    ) -> None:
+        rules = adaptive_rules_for_patient(ehr, patient_id, margins)
+        super().__init__(source, rules, rearm_time_s=rearm_time_s)
+        self.ehr = ehr
+        self.patient_id = patient_id
+        self.margins = margins or AdaptiveMargins()
+
+    def refresh_from_ehr(self) -> None:
+        """Re-derive the rules (e.g. after new observations update baselines)."""
+        self.rules = adaptive_rules_for_patient(self.ehr, self.patient_id, self.margins)
+        self._violation_start = {i: None for i in range(len(self.rules))}
+        self._last_alarm_time = {}

@@ -1,0 +1,205 @@
+"""Multivariate smart alarms with context-event suppression.
+
+Two mechanisms from the paper are implemented:
+
+* *Multivariate correlation* (Section III(i)): "a sudden drop in SpO2
+  readings may mean that a patient is experiencing a heart failure.  But if
+  blood pressure readings remain normal, the more likely cause of the
+  problem is a disconnected wire."  A candidate alarm on one vital is
+  cross-checked against corroborating vitals; if they disagree, the alarm is
+  downgraded to a technical (equipment) advisory instead of a clinical
+  emergency.
+* *Context-event suppression* (Section III(l)): a bed-height-change event
+  shortly before a MAP step explains the step, so the MAP alarm is
+  suppressed (and optionally replaced by a "re-zero transducer" advisory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.alarms.thresholds import AlarmEvent, AlarmSeverity, ThresholdAlarm, ThresholdRule
+
+
+@dataclass(frozen=True)
+class ContextEvent:
+    """A context event published by a (possibly low-criticality) device."""
+
+    time: float
+    kind: str
+    source: str
+    data: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SuppressionRule:
+    """Suppress alarms on ``vital`` within ``window_s`` after a context event of ``context_kind``."""
+
+    vital: str
+    context_kind: str
+    window_s: float
+    advisory_message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+
+
+@dataclass(frozen=True)
+class CorroborationRule:
+    """Require corroboration before treating an alarm on ``vital`` as clinical.
+
+    corroborating_vital:
+        The independent signal to cross-check.
+    predicate:
+        ``predicate(corroborating_value)`` must return True for the alarm to
+        be considered physiologically corroborated.
+    max_age_s:
+        Corroborating observations older than this are ignored.
+    """
+
+    vital: str
+    corroborating_vital: str
+    predicate: Callable[[float], bool]
+    max_age_s: float = 30.0
+    technical_message: str = "suspected sensor artefact"
+
+
+class SmartAlarmEngine:
+    """Combines threshold alarms, corroboration, and context suppression."""
+
+    def __init__(
+        self,
+        base_alarm: ThresholdAlarm,
+        *,
+        corroboration_rules: Sequence[CorroborationRule] = (),
+        suppression_rules: Sequence[SuppressionRule] = (),
+    ) -> None:
+        self.base_alarm = base_alarm
+        self.corroboration_rules = list(corroboration_rules)
+        self.suppression_rules = list(suppression_rules)
+        self._latest: Dict[str, Tuple[float, float]] = {}
+        self._context_events: List[ContextEvent] = []
+        self.clinical_alarms: List[AlarmEvent] = []
+        self.technical_advisories: List[AlarmEvent] = []
+        self.suppressed_alarms: List[AlarmEvent] = []
+
+    # ------------------------------------------------------------ observations
+    def observe(self, time: float, vital: str, value: float) -> List[AlarmEvent]:
+        """Feed an observation; returns the clinical alarms it raised (if any)."""
+        self._latest[vital] = (time, value)
+        candidates = self.base_alarm.observe(time, vital, value)
+        raised: List[AlarmEvent] = []
+        for candidate in candidates:
+            raised.extend(self._triage(candidate))
+        return raised
+
+    def observe_context(self, event: ContextEvent) -> None:
+        """Record a context event (bed moved, patient repositioned, ...)."""
+        self._context_events.append(event)
+
+    # ---------------------------------------------------------------- triage
+    def _triage(self, candidate: AlarmEvent) -> List[AlarmEvent]:
+        suppression = self._find_suppression(candidate)
+        if suppression is not None:
+            self.suppressed_alarms.append(candidate.with_suppression())
+            if suppression.advisory_message:
+                advisory = AlarmEvent(
+                    time=candidate.time,
+                    source=candidate.source,
+                    vital=candidate.vital,
+                    value=candidate.value,
+                    severity=AlarmSeverity.ADVISORY,
+                    message=suppression.advisory_message,
+                )
+                self.technical_advisories.append(advisory)
+            return []
+
+        corroboration = self._find_corroboration_failure(candidate)
+        if corroboration is not None:
+            advisory = AlarmEvent(
+                time=candidate.time,
+                source=candidate.source,
+                vital=candidate.vital,
+                value=candidate.value,
+                severity=AlarmSeverity.ADVISORY,
+                message=corroboration.technical_message,
+            )
+            self.technical_advisories.append(advisory)
+            return []
+
+        self.clinical_alarms.append(candidate)
+        return [candidate]
+
+    def _find_suppression(self, candidate: AlarmEvent) -> Optional[SuppressionRule]:
+        for rule in self.suppression_rules:
+            if rule.vital != candidate.vital:
+                continue
+            for event in reversed(self._context_events):
+                if event.kind == rule.context_kind and 0 <= candidate.time - event.time <= rule.window_s:
+                    return rule
+        return None
+
+    def _find_corroboration_failure(self, candidate: AlarmEvent) -> Optional[CorroborationRule]:
+        for rule in self.corroboration_rules:
+            if rule.vital != candidate.vital:
+                continue
+            observation = self._latest.get(rule.corroborating_vital)
+            if observation is None:
+                continue
+            time, value = observation
+            if candidate.time - time > rule.max_age_s:
+                continue
+            if rule.predicate(value):
+                # Corroborating vital also looks abnormal -> genuinely clinical.
+                return None
+            return rule
+        return None
+
+    # --------------------------------------------------------------- metrics
+    @property
+    def clinical_alarm_times(self) -> List[float]:
+        return [alarm.time for alarm in self.clinical_alarms]
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "clinical": len(self.clinical_alarms),
+            "technical": len(self.technical_advisories),
+            "suppressed": len(self.suppressed_alarms),
+        }
+
+
+def spo2_wire_disconnection_rules() -> List[CorroborationRule]:
+    """The paper's SpO2 / blood-pressure smart-alarm example.
+
+    A low-SpO2 alarm is clinical only if heart rate (from an independent ECG)
+    or MAP also looks abnormal; a lone SpO2 collapse with normal circulation
+    is most likely a probe problem.
+    """
+    return [
+        CorroborationRule(
+            vital="spo2",
+            corroborating_vital="map",
+            predicate=lambda value: value < 70.0 or value > 110.0,
+            technical_message="SpO2 drop without blood-pressure change: check probe connection",
+        ),
+        CorroborationRule(
+            vital="spo2",
+            corroborating_vital="ecg_heart_rate",
+            predicate=lambda value: value < 50.0 or value > 115.0,
+            technical_message="SpO2 drop with normal ECG heart rate: check probe connection",
+        ),
+    ]
+
+
+def bed_map_suppression_rules(window_s: float = 120.0) -> List[SuppressionRule]:
+    """Context suppression for the mixed-criticality bed/MAP scenario."""
+    return [
+        SuppressionRule(
+            vital="map",
+            context_kind="bed_height_change",
+            window_s=window_s,
+            advisory_message="MAP step coincides with bed movement: re-zero transducer",
+        )
+    ]

@@ -1,0 +1,22 @@
+"""Experiment analysis: metrics, statistics, and report-table formatting."""
+
+from repro.analysis.metrics import (
+    AlarmConfusion,
+    SafetyOutcome,
+    aggregate_outcomes,
+    classify_alarms,
+)
+from repro.analysis.stats import bootstrap_ci, paired_difference, summarise
+from repro.analysis.tables import Table, format_table
+
+__all__ = [
+    "AlarmConfusion",
+    "SafetyOutcome",
+    "aggregate_outcomes",
+    "classify_alarms",
+    "bootstrap_ci",
+    "paired_difference",
+    "summarise",
+    "Table",
+    "format_table",
+]

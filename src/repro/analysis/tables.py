@@ -1,0 +1,80 @@
+"""Plain-text table formatting for benchmark output.
+
+Every benchmark prints the rows of the experiment it reproduces through
+:func:`format_table`, so EXPERIMENTS.md and the bench output use the same
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: Optional[str] = None
+
+    def add_row(self, *values: Any) -> "Table":
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+        return self
+
+    def add_record(self, record: Dict[str, Any]) -> "Table":
+        self.rows.append([record.get(column, "") for column in self.columns])
+        return self
+
+    def column(self, name: str) -> List[Any]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, notes=self.notes)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    notes: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with a title line and aligned columns."""
+    formatted_rows = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [f"== {title} ==", render_row(list(columns)), separator]
+    lines.extend(render_row(row) for row in formatted_rows)
+    if notes:
+        lines.append(f"notes: {notes}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Assurance cases and incremental certification.
+
+Section III(n) of the paper advocates evidence-based certification: "using
+compositional modeling techniques and assume-guarantee reasoning may enable
+incremental certification, which would allow us to re-certify MCPS after
+component upgrades without reconsidering the whole assurance case from
+scratch."
+
+* :mod:`~repro.certification.gsn` -- Goal Structuring Notation style
+  assurance cases: goals decomposed by strategies into sub-goals backed by
+  solution (evidence) nodes.
+* :mod:`~repro.certification.evidence` -- evidence artefacts (verification
+  results, test reports, delay-budget analyses) with validity tracking.
+* :mod:`~repro.certification.incremental` -- change-impact analysis over an
+  assurance case: given upgraded components, which evidence is invalidated
+  and which goals must be re-established.
+"""
+
+from repro.certification.gsn import AssuranceCase, GoalNode, NodeType, SolutionNode, StrategyNode
+from repro.certification.evidence import Evidence, EvidenceStatus
+from repro.certification.incremental import IncrementalCertifier, RecertificationPlan
+
+__all__ = [
+    "AssuranceCase",
+    "GoalNode",
+    "NodeType",
+    "SolutionNode",
+    "StrategyNode",
+    "Evidence",
+    "EvidenceStatus",
+    "IncrementalCertifier",
+    "RecertificationPlan",
+]

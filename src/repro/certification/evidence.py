@@ -1,0 +1,82 @@
+"""Evidence artefacts referenced by assurance-case solution nodes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+
+class EvidenceStatus(enum.Enum):
+    VALID = "valid"
+    INVALIDATED = "invalidated"
+    REGENERATED = "regenerated"
+
+
+@dataclass
+class Evidence:
+    """A concrete evidence artefact (verification run, test report, analysis).
+
+    components:
+        The system components the evidence depends on; upgrading any of them
+        invalidates the evidence.
+    kind:
+        Free-form category ("model_checking", "unit_test", "delay_analysis",
+        "clinical_evaluation", ...), used for reporting.
+    """
+
+    evidence_id: str
+    description: str
+    kind: str
+    components: Set[str] = field(default_factory=set)
+    data: Dict[str, Any] = field(default_factory=dict)
+    status: EvidenceStatus = EvidenceStatus.VALID
+    regeneration_cost: float = 1.0
+
+    def depends_on(self, component: str) -> bool:
+        return component in self.components
+
+    def invalidate(self) -> None:
+        self.status = EvidenceStatus.INVALIDATED
+
+    def regenerate(self, data: Optional[Dict[str, Any]] = None) -> None:
+        if data is not None:
+            self.data = dict(data)
+        self.status = EvidenceStatus.REGENERATED
+
+
+class EvidenceStore:
+    """Registry of evidence artefacts keyed by id."""
+
+    def __init__(self) -> None:
+        self._evidence: Dict[str, Evidence] = {}
+
+    def add(self, evidence: Evidence) -> Evidence:
+        if evidence.evidence_id in self._evidence:
+            raise ValueError(f"evidence {evidence.evidence_id!r} already registered")
+        self._evidence[evidence.evidence_id] = evidence
+        return evidence
+
+    def get(self, evidence_id: str) -> Evidence:
+        if evidence_id not in self._evidence:
+            raise KeyError(f"no evidence {evidence_id!r}")
+        return self._evidence[evidence_id]
+
+    def __contains__(self, evidence_id: str) -> bool:
+        return evidence_id in self._evidence
+
+    def __len__(self) -> int:
+        return len(self._evidence)
+
+    @property
+    def all(self) -> List[Evidence]:
+        return list(self._evidence.values())
+
+    def valid(self) -> List[Evidence]:
+        return [e for e in self._evidence.values() if e.status != EvidenceStatus.INVALIDATED]
+
+    def invalidated(self) -> List[Evidence]:
+        return [e for e in self._evidence.values() if e.status == EvidenceStatus.INVALIDATED]
+
+    def depending_on(self, component: str) -> List[Evidence]:
+        return [e for e in self._evidence.values() if e.depends_on(component)]

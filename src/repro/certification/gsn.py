@@ -1,0 +1,147 @@
+"""Goal Structuring Notation (GSN) style assurance cases.
+
+An assurance case is a tree (more generally a DAG) whose root goal states the
+top-level safety claim ("the closed-loop PCA system does not contribute to
+patient harm"), decomposed by strategy nodes into sub-goals, each eventually
+supported by solution nodes that reference concrete evidence artefacts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class NodeType(enum.Enum):
+    GOAL = "goal"
+    STRATEGY = "strategy"
+    SOLUTION = "solution"
+    CONTEXT = "context"
+
+
+@dataclass
+class _Node:
+    node_id: str
+    node_type: NodeType
+    statement: str
+    children: List[str] = field(default_factory=list)
+    components: Set[str] = field(default_factory=set)
+    evidence_id: Optional[str] = None
+
+
+@dataclass
+class GoalNode(_Node):
+    def __init__(self, node_id: str, statement: str, components: Iterable[str] = ()) -> None:
+        super().__init__(node_id=node_id, node_type=NodeType.GOAL, statement=statement,
+                         components=set(components))
+
+
+@dataclass
+class StrategyNode(_Node):
+    def __init__(self, node_id: str, statement: str) -> None:
+        super().__init__(node_id=node_id, node_type=NodeType.STRATEGY, statement=statement)
+
+
+@dataclass
+class SolutionNode(_Node):
+    def __init__(self, node_id: str, statement: str, evidence_id: str, components: Iterable[str] = ()) -> None:
+        super().__init__(node_id=node_id, node_type=NodeType.SOLUTION, statement=statement,
+                         components=set(components), evidence_id=evidence_id)
+
+
+class AssuranceCase:
+    """A GSN assurance case: nodes, edges, and queries over them."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: Dict[str, _Node] = {}
+        self.root_id: Optional[str] = None
+
+    # ------------------------------------------------------------- structure
+    def add(self, node: _Node, parent_id: Optional[str] = None) -> _Node:
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id!r} already exists")
+        self._nodes[node.node_id] = node
+        if parent_id is None:
+            if self.root_id is None:
+                if node.node_type != NodeType.GOAL:
+                    raise ValueError("the root of an assurance case must be a goal")
+                self.root_id = node.node_id
+            else:
+                raise ValueError("a root already exists; supply parent_id")
+        else:
+            parent = self.node(parent_id)
+            self._check_edge(parent, node)
+            parent.children.append(node.node_id)
+        return node
+
+    def _check_edge(self, parent: _Node, child: _Node) -> None:
+        if parent.node_type == NodeType.SOLUTION:
+            raise ValueError("solution nodes cannot have children")
+        if parent.node_type == NodeType.GOAL and child.node_type == NodeType.GOAL:
+            # Goals are normally decomposed through strategies, but direct
+            # goal-to-goal support is tolerated in compact cases.
+            return
+        if parent.node_type == NodeType.STRATEGY and child.node_type == NodeType.STRATEGY:
+            raise ValueError("a strategy cannot directly support a strategy")
+
+    def node(self, node_id: str) -> _Node:
+        if node_id not in self._nodes:
+            raise KeyError(f"no node {node_id!r} in assurance case {self.name!r}")
+        return self._nodes[node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[_Node]:
+        return list(self._nodes.values())
+
+    # ---------------------------------------------------------------- queries
+    def goals(self) -> List[_Node]:
+        return [node for node in self._nodes.values() if node.node_type == NodeType.GOAL]
+
+    def solutions(self) -> List[_Node]:
+        return [node for node in self._nodes.values() if node.node_type == NodeType.SOLUTION]
+
+    def descendants(self, node_id: str) -> List[str]:
+        """All node ids reachable below ``node_id`` (excluding it)."""
+        result: List[str] = []
+        stack = list(self.node(node_id).children)
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            result.append(current)
+            stack.extend(self.node(current).children)
+        return result
+
+    def ancestors(self, node_id: str) -> List[str]:
+        """All node ids on paths from the root to ``node_id`` (excluding it)."""
+        result: List[str] = []
+        for candidate_id, candidate in self._nodes.items():
+            if node_id in self.descendants(candidate_id):
+                result.append(candidate_id)
+        return result
+
+    def solutions_for_component(self, component: str) -> List[_Node]:
+        return [node for node in self.solutions() if component in node.components]
+
+    def undeveloped_goals(self) -> List[_Node]:
+        """Goals with no supporting children anywhere below them."""
+        undeveloped = []
+        for goal in self.goals():
+            below = self.descendants(goal.node_id)
+            if not any(self.node(i).node_type == NodeType.SOLUTION for i in below):
+                undeveloped.append(goal)
+        return undeveloped
+
+    def is_complete(self) -> bool:
+        """True if the root exists and every goal is eventually backed by evidence."""
+        return self.root_id is not None and not self.undeveloped_goals()

@@ -1,0 +1,85 @@
+"""Safety envelope applied to controller outputs driving an infusion.
+
+Whatever the control law (PID, adaptive, or a clinician's manual setting),
+the actuator command is passed through a :class:`SafetyEnvelope` that clamps
+the absolute rate, limits its rate of change, and caps the cumulative dose
+over a rolling window -- a software analogue of the hard limits that make a
+PCA pump's programmable bounds trustworthy even when the controller above is
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class EnvelopeLimits:
+    max_rate: float
+    max_rate_change_per_s: float
+    max_cumulative: float
+    cumulative_window_s: float
+
+    def validate(self) -> None:
+        if self.max_rate <= 0:
+            raise ValueError("max_rate must be positive")
+        if self.max_rate_change_per_s <= 0:
+            raise ValueError("max_rate_change_per_s must be positive")
+        if self.max_cumulative <= 0:
+            raise ValueError("max_cumulative must be positive")
+        if self.cumulative_window_s <= 0:
+            raise ValueError("cumulative_window_s must be positive")
+
+
+class SafetyEnvelope:
+    """Clamps a commanded infusion rate to safe limits."""
+
+    def __init__(self, limits: EnvelopeLimits) -> None:
+        limits.validate()
+        self.limits = limits
+        self._last_rate = 0.0
+        self._last_time: float = 0.0
+        self._delivery_history: List[Tuple[float, float]] = []  # (time, amount)
+        self.clamp_events = 0
+
+    def apply(self, time: float, requested_rate: float) -> float:
+        """Return the rate actually allowed at ``time`` for ``requested_rate``."""
+        if requested_rate < 0:
+            requested_rate = 0.0
+        dt = max(0.0, time - self._last_time)
+        allowed = requested_rate
+
+        # Absolute clamp.
+        if allowed > self.limits.max_rate:
+            allowed = self.limits.max_rate
+
+        # Rate-of-change clamp.
+        if dt > 0:
+            max_step = self.limits.max_rate_change_per_s * dt
+            if allowed > self._last_rate + max_step:
+                allowed = self._last_rate + max_step
+            elif allowed < self._last_rate - max_step:
+                allowed = self._last_rate - max_step
+
+        # Cumulative-dose clamp over the rolling window.
+        delivered = self._delivered_in_window(time)
+        projected = delivered + allowed * dt
+        if projected > self.limits.max_cumulative:
+            remaining = max(0.0, self.limits.max_cumulative - delivered)
+            allowed = remaining / dt if dt > 0 else 0.0
+
+        if allowed < requested_rate:
+            self.clamp_events += 1
+
+        # Book-keeping: record what the previous rate delivered over dt.
+        if dt > 0:
+            self._delivery_history.append((time, self._last_rate * dt))
+        self._last_rate = allowed
+        self._last_time = time
+        return allowed
+
+    def _delivered_in_window(self, time: float) -> float:
+        cutoff = time - self.limits.cumulative_window_s
+        self._delivery_history = [(t, amount) for t, amount in self._delivery_history if t >= cutoff]
+        return sum(amount for _, amount in self._delivery_history)

@@ -1,0 +1,77 @@
+"""PID controller: the fixed-gain baseline for closed-loop drug titration.
+
+Used by experiment E10 as the non-adaptive comparator: a single PID tuned for
+the "average" patient, applied across a population with widely varying drug
+sensitivity (exactly the setting Section III(g) of the paper warns about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PIDGains:
+    """Proportional / integral / derivative gains."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("PID gains must be non-negative")
+
+
+class PIDController:
+    """Discrete PID controller with anti-windup clamping."""
+
+    def __init__(
+        self,
+        gains: PIDGains,
+        *,
+        output_min: float = 0.0,
+        output_max: float = float("inf"),
+        setpoint: float = 0.0,
+    ) -> None:
+        if output_max <= output_min:
+            raise ValueError("output_max must exceed output_min")
+        self.gains = gains
+        self.output_min = output_min
+        self.output_max = output_max
+        self.setpoint = setpoint
+        self._integral = 0.0
+        self._previous_error: Optional[float] = None
+        self.last_output = 0.0
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._previous_error = None
+        self.last_output = 0.0
+
+    def update(self, measurement: float, dt: float) -> float:
+        """Compute the control output for ``measurement`` after ``dt`` seconds."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        error = self.setpoint - measurement
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / dt
+        self._previous_error = error
+
+        candidate_integral = self._integral + error * dt
+        output = (
+            self.gains.kp * error
+            + self.gains.ki * candidate_integral
+            + self.gains.kd * derivative
+        )
+        # Anti-windup: only accumulate the integral if the output is not
+        # saturated in the direction the integral would push it further.
+        if (output <= self.output_min and error < 0) or (output >= self.output_max and error > 0):
+            pass
+        else:
+            self._integral = candidate_integral
+        output = min(self.output_max, max(self.output_min, output))
+        self.last_output = output
+        return output

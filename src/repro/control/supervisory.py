@@ -1,0 +1,139 @@
+"""Supervisory adaptive control (Morse-style multi-model switching).
+
+A bank of candidate controllers is maintained, each tuned for a different
+patient-parameter hypothesis (e.g. low / nominal / high drug sensitivity).
+A supervisor runs a simple model estimator for each hypothesis, accumulates a
+leaky-integrated prediction-error score, and switches the active controller
+to the candidate whose model currently explains the observations best --
+subject to hysteresis and a dwell time to prevent chattering, which is the
+essential robustness ingredient of Morse's scheme (reference [17] of the
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.control.pid import PIDController
+
+
+@dataclass
+class CandidateController:
+    """One candidate in the supervisory bank.
+
+    controller:
+        The control law used when this candidate is active.
+    predictor:
+        ``predictor(control_output, dt) -> predicted_measurement_change``,
+        the candidate's model of how the plant responds; the supervisor
+        scores candidates by how well this prediction matches reality.
+    """
+
+    name: str
+    controller: PIDController
+    predictor: Callable[[float, float], float]
+
+
+@dataclass
+class SupervisoryConfig:
+    """Switching behaviour of the supervisor.
+
+    forgetting_factor:
+        Exponential forgetting applied to the error scores each update
+        (closer to 1.0 = longer memory).
+    hysteresis:
+        A challenger must beat the incumbent's score by this factor before a
+        switch happens.
+    dwell_time_s:
+        Minimum time between switches.
+    """
+
+    forgetting_factor: float = 0.98
+    hysteresis: float = 1.2
+    dwell_time_s: float = 60.0
+
+    def validate(self) -> None:
+        if not 0 < self.forgetting_factor <= 1:
+            raise ValueError("forgetting_factor must be in (0, 1]")
+        if self.hysteresis < 1:
+            raise ValueError("hysteresis must be >= 1")
+        if self.dwell_time_s < 0:
+            raise ValueError("dwell_time_s must be non-negative")
+
+
+class SupervisoryAdaptiveController:
+    """Switching supervisor over a bank of candidate controllers."""
+
+    def __init__(
+        self,
+        candidates: Sequence[CandidateController],
+        config: Optional[SupervisoryConfig] = None,
+    ) -> None:
+        if not candidates:
+            raise ValueError("at least one candidate controller is required")
+        self.candidates = list(candidates)
+        self.config = config or SupervisoryConfig()
+        self.config.validate()
+        self._scores: Dict[str, float] = {candidate.name: 0.0 for candidate in self.candidates}
+        self._active = self.candidates[0]
+        self._last_switch_time: Optional[float] = None
+        self._previous_measurement: Optional[float] = None
+        self._previous_output = 0.0
+        self.switch_history: List[Dict[str, object]] = []
+
+    # --------------------------------------------------------------- queries
+    @property
+    def active_candidate(self) -> CandidateController:
+        return self._active
+
+    @property
+    def scores(self) -> Dict[str, float]:
+        return dict(self._scores)
+
+    @property
+    def switch_count(self) -> int:
+        return len(self.switch_history)
+
+    # ---------------------------------------------------------------- update
+    def update(self, time: float, measurement: float, dt: float) -> float:
+        """One supervisory control step; returns the active controller's output."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self._update_scores(measurement, dt)
+        self._maybe_switch(time)
+        output = self._active.controller.update(measurement, dt)
+        self._previous_measurement = measurement
+        self._previous_output = output
+        return output
+
+    def _update_scores(self, measurement: float, dt: float) -> None:
+        if self._previous_measurement is None:
+            return
+        actual_change = measurement - self._previous_measurement
+        for candidate in self.candidates:
+            predicted_change = candidate.predictor(self._previous_output, dt)
+            error = (actual_change - predicted_change) ** 2
+            self._scores[candidate.name] = (
+                self.config.forgetting_factor * self._scores[candidate.name] + error
+            )
+
+    def _maybe_switch(self, time: float) -> None:
+        if self._last_switch_time is not None:
+            if time - self._last_switch_time < self.config.dwell_time_s:
+                return
+        best = min(self.candidates, key=lambda candidate: self._scores[candidate.name])
+        if best.name == self._active.name:
+            return
+        incumbent_score = self._scores[self._active.name]
+        challenger_score = self._scores[best.name]
+        if incumbent_score > self.config.hysteresis * challenger_score or self._previous_measurement is None:
+            self.switch_history.append(
+                {"time": time, "from": self._active.name, "to": best.name,
+                 "incumbent_score": incumbent_score, "challenger_score": challenger_score}
+            )
+            # Carry over actuator state by resetting the incoming controller
+            # so its integral term does not apply a stale correction.
+            best.controller.reset()
+            self._active = best
+            self._last_switch_time = time

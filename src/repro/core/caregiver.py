@@ -1,0 +1,140 @@
+"""Stochastic caregiver (nurse/anaesthesiologist) response model.
+
+Section II(c) of the paper motivates closed-loop supervision by the limits of
+the "human in the loop": caregivers "may miss a critical warning sign",
+"typically care for multiple patients at a time and can be distracted at a
+wrong moment".  Section III(j) asks that models of caregiver behaviour,
+including the likelihood of actions, be part of device safety analysis.
+
+The :class:`Caregiver` process models a nurse who periodically rounds on the
+patient and responds to alarms after a reaction delay, possibly missing an
+alarm entirely when distracted or suffering alarm fatigue.  It is the
+open-loop safety net against which the closed-loop supervisor is compared in
+experiment E1, and the consumer of alarms in the smart-alarm experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.kernel import Process
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class CaregiverConfig:
+    """Caregiver workload and responsiveness parameters.
+
+    rounding_period_s:
+        How often the caregiver checks on the patient unprompted.
+    mean_response_delay_s / response_delay_sd_s:
+        Log-normal-ish reaction time from alarm to arrival at the bedside.
+    distraction_probability:
+        Probability an individual alarm is missed outright (busy elsewhere).
+    fatigue_half_life:
+        Number of false alarms after which attention halves; models alarm
+        fatigue (Section III(i)).  ``None`` disables fatigue.
+    patients_assigned:
+        Number of patients this caregiver covers; scales the response delay.
+    """
+
+    rounding_period_s: float = 1800.0
+    mean_response_delay_s: float = 180.0
+    response_delay_sd_s: float = 60.0
+    distraction_probability: float = 0.15
+    fatigue_half_life: Optional[float] = 20.0
+    patients_assigned: int = 4
+
+    def validate(self) -> None:
+        if self.rounding_period_s <= 0:
+            raise ValueError("rounding_period_s must be positive")
+        if self.mean_response_delay_s < 0 or self.response_delay_sd_s < 0:
+            raise ValueError("response delays must be non-negative")
+        if not 0 <= self.distraction_probability <= 1:
+            raise ValueError("distraction_probability must be in [0, 1]")
+        if self.fatigue_half_life is not None and self.fatigue_half_life <= 0:
+            raise ValueError("fatigue_half_life must be positive when set")
+        if self.patients_assigned < 1:
+            raise ValueError("patients_assigned must be >= 1")
+
+
+class Caregiver(Process):
+    """A nurse responding to alarms and doing periodic rounds."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[CaregiverConfig] = None,
+        *,
+        on_intervention: Optional[Callable[[str], None]] = None,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        super().__init__(name=f"caregiver:{name}")
+        self.config = config or CaregiverConfig()
+        self.config.validate()
+        self.caregiver_id = name
+        self._on_intervention = on_intervention
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.trace = trace
+        self.alarms_received = 0
+        self.alarms_missed = 0
+        self.false_alarms_seen = 0
+        self.interventions: List[Tuple[float, str]] = []
+        self.rounds_done = 0
+
+    # --------------------------------------------------------------- process
+    def start(self) -> None:
+        self.every(self.config.rounding_period_s, self._do_rounds)
+
+    def _do_rounds(self) -> None:
+        self.rounds_done += 1
+        if self.trace is not None:
+            self.trace.event(self.now, f"{self.caregiver_id}:rounds", source=self.name)
+        self._intervene("rounds")
+
+    # ----------------------------------------------------------------- alarms
+    @property
+    def attention(self) -> float:
+        """Current attention level in (0, 1], reduced by alarm fatigue."""
+        if self.config.fatigue_half_life is None:
+            return 1.0
+        return float(0.5 ** (self.false_alarms_seen / self.config.fatigue_half_life))
+
+    def notify_alarm(self, label: str, is_false_alarm: bool = False) -> bool:
+        """Deliver an alarm to the caregiver; returns True if they will respond."""
+        self.alarms_received += 1
+        if is_false_alarm:
+            self.false_alarms_seen += 1
+        miss_probability = self.config.distraction_probability + (1.0 - self.attention) * 0.5
+        miss_probability = min(0.95, miss_probability)
+        if self._rng.random() < miss_probability:
+            self.alarms_missed += 1
+            if self.trace is not None:
+                self.trace.event(self.now, f"{self.caregiver_id}:alarm_missed", label, source=self.name)
+            return False
+        delay = self._response_delay()
+        self.after(delay, lambda: self._intervene(label))
+        return True
+
+    def _response_delay(self) -> float:
+        scale = max(1.0, self.config.patients_assigned / 2.0)
+        delay = self._rng.normal(self.config.mean_response_delay_s * scale, self.config.response_delay_sd_s)
+        return float(max(10.0, delay))
+
+    def _intervene(self, label: str) -> None:
+        self.interventions.append((self.now, label))
+        if self.trace is not None:
+            self.trace.event(self.now, f"{self.caregiver_id}:intervention", label, source=self.name)
+        if self._on_intervention is not None:
+            self._on_intervention(label)
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def response_rate(self) -> float:
+        if self.alarms_received == 0:
+            return 1.0
+        return 1.0 - self.alarms_missed / self.alarms_received

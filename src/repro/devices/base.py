@@ -1,0 +1,192 @@
+"""Base classes shared by all virtual medical devices.
+
+A :class:`MedicalDevice` is a simulation process with
+
+* an operational state machine (``off -> standby -> running -> fault``),
+* a :class:`DeviceDescriptor` advertising its identity, FDA-style risk class,
+  published data topics, and accepted commands (this is what the middleware
+  registry uses for capability matching, Section III(k) of the paper), and
+* optional publish/command plumbing once the device is attached to a
+  middleware bus.
+
+Devices are deliberately defensive: commands received in the wrong state are
+rejected and counted rather than raising, because in the clinical scenarios
+a mis-sequenced command is an event to analyse, not a programming error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Process
+from repro.sim.trace import TraceRecorder
+
+
+class DeviceState(enum.Enum):
+    """Operational state of a device."""
+
+    OFF = "off"
+    STANDBY = "standby"
+    RUNNING = "running"
+    PAUSED = "paused"
+    FAULT = "fault"
+
+
+# Allowed operational-state transitions.  Anything not listed is rejected.
+_ALLOWED_TRANSITIONS: Dict[DeviceState, Tuple[DeviceState, ...]] = {
+    DeviceState.OFF: (DeviceState.STANDBY,),
+    DeviceState.STANDBY: (DeviceState.RUNNING, DeviceState.OFF, DeviceState.FAULT),
+    DeviceState.RUNNING: (DeviceState.PAUSED, DeviceState.STANDBY, DeviceState.FAULT, DeviceState.OFF),
+    DeviceState.PAUSED: (DeviceState.RUNNING, DeviceState.STANDBY, DeviceState.FAULT, DeviceState.OFF),
+    DeviceState.FAULT: (DeviceState.STANDBY, DeviceState.OFF),
+}
+
+
+@dataclass(frozen=True)
+class DeviceDescriptor:
+    """Self-description a device registers with the ICE middleware.
+
+    device_id:
+        Unique identifier on the medical-device network.
+    device_type:
+        Category string, e.g. ``"pca_pump"`` or ``"pulse_oximeter"``.
+    manufacturer / model:
+        Free-form provenance, used for interoperability diagnostics.
+    risk_class:
+        FDA device class ("I", "II", or "III"); the mixed-criticality
+        scenario correlates low-risk device events with high-risk readings.
+    published_topics:
+        Data topics the device publishes (e.g. ``"spo2"``).
+    accepted_commands:
+        Commands the device accepts over the network (e.g. ``"stop"``).
+        An empty tuple models the locked-down, data-only security posture
+        discussed in Section III(m).
+    capabilities:
+        Additional capability flags used by workflow device matching.
+    """
+
+    device_id: str
+    device_type: str
+    manufacturer: str = "OpenMCPS"
+    model: str = "sim-1"
+    risk_class: str = "II"
+    published_topics: Tuple[str, ...] = ()
+    accepted_commands: Tuple[str, ...] = ()
+    capabilities: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.risk_class not in ("I", "II", "III"):
+            raise ValueError(f"risk_class must be 'I', 'II', or 'III', got {self.risk_class!r}")
+        if not self.device_id:
+            raise ValueError("device_id must be non-empty")
+
+    def accepts(self, command: str) -> bool:
+        return command in self.accepted_commands
+
+    def publishes(self, topic: str) -> bool:
+        return topic in self.published_topics
+
+
+class MedicalDevice(Process):
+    """Common behaviour of all simulated medical devices."""
+
+    def __init__(
+        self,
+        descriptor: DeviceDescriptor,
+        *,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        super().__init__(name=f"device:{descriptor.device_id}")
+        self.descriptor = descriptor
+        self.trace = trace
+        self.state = DeviceState.STANDBY
+        self._publisher: Optional[Callable[[str, Any], None]] = None
+        self._command_handlers: Dict[str, Callable[[Dict[str, Any]], Any]] = {}
+        self.rejected_commands: List[Tuple[str, str]] = []
+        self.state_history: List[Tuple[float, DeviceState]] = []
+        self.crashed = False
+
+    # --------------------------------------------------------------- states
+    def transition(self, new_state: DeviceState) -> bool:
+        """Attempt an operational state transition; returns success."""
+        if new_state == self.state:
+            return True
+        allowed = _ALLOWED_TRANSITIONS[self.state]
+        if new_state not in allowed:
+            self._log_event("rejected_transition", f"{self.state.value}->{new_state.value}")
+            return False
+        self.state = new_state
+        time = self._simulator.now if self._simulator is not None else 0.0
+        self.state_history.append((time, new_state))
+        self._log_event("state", new_state.value)
+        return True
+
+    @property
+    def is_operational(self) -> bool:
+        return self.state in (DeviceState.RUNNING, DeviceState.PAUSED) and not self.crashed
+
+    # -------------------------------------------------------------- fault hooks
+    def crash(self) -> None:
+        """Fault-injection hook: the device stops responding entirely."""
+        self.crashed = True
+        self.transition(DeviceState.FAULT)
+        self.cancel_all()
+
+    def restart(self) -> None:
+        """Fault-injection hook: bring a crashed device back to standby."""
+        self.crashed = False
+        if self.state == DeviceState.FAULT:
+            self.transition(DeviceState.STANDBY)
+
+    # ------------------------------------------------------------ middleware
+    def attach_publisher(self, publisher: Callable[[str, Any], None]) -> None:
+        """Give the device a function that publishes ``(topic, payload)``."""
+        self._publisher = publisher
+
+    def publish(self, topic: str, payload: Any) -> None:
+        if self.crashed:
+            return
+        if not self.descriptor.publishes(topic):
+            raise ValueError(
+                f"device {self.descriptor.device_id!r} tried to publish undeclared topic {topic!r}"
+            )
+        if self._publisher is not None:
+            self._publisher(topic, payload)
+
+    def register_command(self, command: str, handler: Callable[[Dict[str, Any]], Any]) -> None:
+        if not self.descriptor.accepts(command):
+            raise ValueError(
+                f"device {self.descriptor.device_id!r} registered handler for undeclared command {command!r}"
+            )
+        self._command_handlers[command] = handler
+
+    def handle_command(self, command: str, parameters: Optional[Dict[str, Any]] = None) -> Any:
+        """Process a network command; rejected commands are recorded, not raised."""
+        parameters = parameters or {}
+        if self.crashed:
+            self.rejected_commands.append((command, "device crashed"))
+            return None
+        if not self.descriptor.accepts(command):
+            self.rejected_commands.append((command, "command not accepted by descriptor"))
+            self._log_event("rejected_command", command)
+            return None
+        handler = self._command_handlers.get(command)
+        if handler is None:
+            self.rejected_commands.append((command, "no handler registered"))
+            self._log_event("rejected_command", command)
+            return None
+        return handler(parameters)
+
+    # ---------------------------------------------------------------- tracing
+    def _log_event(self, kind: str, value: Any) -> None:
+        if self.trace is not None and self._simulator is not None:
+            self.trace.event(self.now, f"{self.descriptor.device_id}:{kind}", value, source=self.name)
+
+    def _record(self, signal: str, value: Any) -> None:
+        if self.trace is not None and self._simulator is not None:
+            self.trace.record(self.now, f"{self.descriptor.device_id}:{signal}", value, source=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.descriptor.device_id!r} {self.state.value}>"

@@ -1,0 +1,73 @@
+"""Blood-pressure monitor publishing mean arterial pressure (MAP).
+
+Used by the mixed-criticality bed scenario (Section III(l)): the monitor's
+reading depends on transducer height relative to the patient, so a bed-height
+change produces a step artefact in MAP that a trend-following alarm would
+misread as sudden hypotension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.devices.base import DeviceDescriptor, DeviceState, MedicalDevice
+from repro.patient.model import PatientModel
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class BloodPressureMonitorConfig:
+    sample_period_s: float = 15.0
+
+    def validate(self) -> None:
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+
+
+class BloodPressureMonitor(MedicalDevice):
+    """Invasive arterial-line MAP monitor."""
+
+    def __init__(
+        self,
+        device_id: str,
+        patient: PatientModel,
+        config: Optional[BloodPressureMonitorConfig] = None,
+        *,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        descriptor = DeviceDescriptor(
+            device_id=device_id,
+            device_type="bp_monitor",
+            risk_class="II",
+            published_topics=("map", "blood_pressure_status"),
+            accepted_commands=("rezero",),
+            capabilities=("map_monitoring",),
+        )
+        super().__init__(descriptor, trace=trace)
+        self.config = config or BloodPressureMonitorConfig()
+        self.config.validate()
+        self.patient = patient
+        self.readings_published = 0
+        self._zero_offset_mmhg = 0.0
+        self.register_command("rezero", self._command_rezero)
+
+    def start(self) -> None:
+        self.transition(DeviceState.RUNNING)
+        self.every(self.config.sample_period_s, self._sample)
+
+    def _sample(self) -> None:
+        if not self.is_operational:
+            return
+        reading = self.patient.map_model.measured_map_mmhg + self._zero_offset_mmhg
+        self.readings_published += 1
+        self.publish("map", {"value": reading, "valid": True, "time": self.now})
+        self._record("map_reading", reading)
+
+    def _command_rezero(self, _parameters) -> bool:
+        """Re-zero the transducer at the current bed height, removing the artefact."""
+        self._zero_offset_mmhg = (
+            self.patient.map_model.true_map_mmhg - self.patient.map_model.measured_map_mmhg
+        )
+        self._log_event("rezeroed", self._zero_offset_mmhg)
+        return True

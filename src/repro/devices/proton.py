@@ -1,0 +1,261 @@
+"""Proton-therapy beam scheduling and emergency shutdown.
+
+Section II(a) of the paper singles out proton therapy as one of the largest
+and most timing-critical medical device systems: a single cyclotron beam is
+switched between multiple treatment rooms, beam control has tight timing
+tolerances, real-time patient-position imaging must interrupt delivery on
+patient movement, and "interference between beam scheduling and beam
+application" is an explicit hazard.  The simulation models:
+
+* a :class:`ProtonTherapySystem` owning the single beam source,
+* several :class:`TreatmentRoom` processes requesting beam slots for dose
+  fractions (a fraction is a sequence of spot deliveries),
+* patient-motion events detected by per-room imaging, which must trigger a
+  beam cut-off for that room within a latency bound, and
+* an emergency shutdown path whose latency is measured separately (the
+  safety function analysed in Rae et al. [19]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.devices.base import DeviceDescriptor, DeviceState, MedicalDevice
+from repro.sim.kernel import Process
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class BeamRequest:
+    """A treatment room's request for one dose fraction."""
+
+    room_id: str
+    requested_at: float
+    spots: int
+    spot_duration_s: float
+    priority: int = 0
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    aborted: bool = False
+    delivered_spots: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.spots * self.spot_duration_s
+
+    @property
+    def waiting_time_s(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.requested_at
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None and not self.aborted
+
+
+class ProtonTherapySystem(MedicalDevice):
+    """The shared cyclotron beam source and its scheduler.
+
+    Scheduling policy is round-robin over pending requests with priority
+    override; the beam switches rooms only between fractions unless an
+    emergency cut-off pre-empts delivery.  Switching the beam line between
+    rooms takes ``switch_time_s``.
+    """
+
+    def __init__(
+        self,
+        device_id: str,
+        *,
+        switch_time_s: float = 20.0,
+        emergency_shutdown_latency_s: float = 0.05,
+        motion_cutoff_latency_s: float = 0.2,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        descriptor = DeviceDescriptor(
+            device_id=device_id,
+            device_type="proton_therapy",
+            risk_class="III",
+            published_topics=("beam_status",),
+            accepted_commands=("emergency_shutdown",),
+            capabilities=("beam_delivery", "beam_scheduling", "emergency_shutdown"),
+        )
+        super().__init__(descriptor, trace=trace)
+        if switch_time_s < 0:
+            raise ValueError("switch_time_s must be non-negative")
+        if emergency_shutdown_latency_s < 0 or motion_cutoff_latency_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self.switch_time_s = switch_time_s
+        self.emergency_shutdown_latency_s = emergency_shutdown_latency_s
+        self.motion_cutoff_latency_s = motion_cutoff_latency_s
+        self.rooms: Dict[str, "TreatmentRoom"] = {}
+        self.pending: List[BeamRequest] = []
+        self.completed: List[BeamRequest] = []
+        self.current: Optional[BeamRequest] = None
+        self.current_room: Optional[str] = None
+        self.shutdown = False
+        self.shutdown_times: List[float] = []
+        self.motion_cutoffs: List[float] = []
+        self.beam_busy_s = 0.0
+        self.switch_count = 0
+        self.register_command("emergency_shutdown", lambda params: self.emergency_shutdown())
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        self.transition(DeviceState.RUNNING)
+
+    def attach_room(self, room: "TreatmentRoom") -> None:
+        self.rooms[room.room_id] = room
+        room.system = self
+
+    # ------------------------------------------------------------ scheduling
+    def submit(self, request: BeamRequest) -> None:
+        """A room submits a fraction request; it is queued until the beam frees."""
+        if self.shutdown:
+            request.aborted = True
+            self.completed.append(request)
+            return
+        self.pending.append(request)
+        self._log_event("request_submitted", request.room_id)
+        if self.current is None:
+            self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self.shutdown or self.current is not None or not self.pending:
+            return
+        # Highest priority first, ties broken by arrival order.
+        self.pending.sort(key=lambda r: (-r.priority, r.requested_at))
+        request = self.pending.pop(0)
+        switch = self.switch_time_s if request.room_id != self.current_room else 0.0
+        if switch > 0:
+            self.switch_count += 1
+        self.current = request
+        self.current_room = request.room_id
+        self.after(switch, lambda: self._begin_delivery(request))
+
+    def _begin_delivery(self, request: BeamRequest) -> None:
+        if self.shutdown or request.aborted:
+            self._finish(request)
+            return
+        request.started_at = self.now
+        self._log_event("delivery_started", request.room_id)
+        self._deliver_spot(request)
+
+    def _deliver_spot(self, request: BeamRequest) -> None:
+        if self.shutdown or request.aborted:
+            self._finish(request)
+            return
+        if request.delivered_spots >= request.spots:
+            request.completed_at = self.now
+            self._log_event("delivery_completed", request.room_id)
+            self._finish(request)
+            return
+        request.delivered_spots += 1
+        self.beam_busy_s += request.spot_duration_s
+        self.after(request.spot_duration_s, lambda: self._deliver_spot(request))
+
+    def _finish(self, request: BeamRequest) -> None:
+        self.completed.append(request)
+        if self.current is request:
+            self.current = None
+        self._schedule_next()
+
+    # -------------------------------------------------------------- safety
+    def report_patient_motion(self, room_id: str) -> None:
+        """Per-room imaging detected patient movement: cut the beam for that room."""
+        self.motion_cutoffs.append(self.now)
+        self._log_event("patient_motion", room_id)
+        if self.current is not None and self.current.room_id == room_id:
+            request = self.current
+            self.after(self.motion_cutoff_latency_s, lambda: self._abort(request, reason="patient_motion"))
+
+    def emergency_shutdown(self) -> bool:
+        """Hard shutdown of the whole facility (the path analysed in [19])."""
+        if self.shutdown:
+            return True
+        self.shutdown = True
+        self.shutdown_times.append(self.now)
+        self._log_event("emergency_shutdown", True)
+        if self.current is not None:
+            request = self.current
+            self.after(self.emergency_shutdown_latency_s, lambda: self._abort(request, reason="emergency_shutdown"))
+        # Abort everything still queued.
+        for request in self.pending:
+            request.aborted = True
+            self.completed.append(request)
+        self.pending.clear()
+        self.transition(DeviceState.FAULT)
+        return True
+
+    def _abort(self, request: BeamRequest, reason: str) -> None:
+        if request.completed_at is not None:
+            return
+        request.aborted = True
+        self._log_event("delivery_aborted", {"room": request.room_id, "reason": reason})
+        self._finish(request)
+
+    # -------------------------------------------------------------- metrics
+    def utilisation(self, elapsed_s: float) -> float:
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.beam_busy_s / elapsed_s)
+
+    @property
+    def completed_fractions(self) -> int:
+        return sum(1 for request in self.completed if request.complete)
+
+    @property
+    def aborted_fractions(self) -> int:
+        return sum(1 for request in self.completed if request.aborted)
+
+
+class TreatmentRoom(Process):
+    """A treatment room generating fraction requests and patient-motion events."""
+
+    def __init__(
+        self,
+        room_id: str,
+        *,
+        fraction_spots: int = 40,
+        spot_duration_s: float = 0.5,
+        request_period_s: float = 600.0,
+        fractions: int = 3,
+        motion_times: Optional[List[float]] = None,
+        priority: int = 0,
+    ) -> None:
+        super().__init__(name=f"room:{room_id}")
+        if fraction_spots <= 0 or spot_duration_s <= 0 or request_period_s <= 0 or fractions < 0:
+            raise ValueError("room parameters must be positive")
+        self.room_id = room_id
+        self.fraction_spots = fraction_spots
+        self.spot_duration_s = spot_duration_s
+        self.request_period_s = request_period_s
+        self.fractions = fractions
+        self.motion_times = list(motion_times or [])
+        self.priority = priority
+        self.system: Optional[ProtonTherapySystem] = None
+        self.requests: List[BeamRequest] = []
+
+    def start(self) -> None:
+        for index in range(self.fractions):
+            self.after(index * self.request_period_s, self._submit_request)
+        for motion_time in self.motion_times:
+            self.after(motion_time, self._report_motion)
+
+    def _submit_request(self) -> None:
+        if self.system is None:
+            return
+        request = BeamRequest(
+            room_id=self.room_id,
+            requested_at=self.now,
+            spots=self.fraction_spots,
+            spot_duration_s=self.spot_duration_s,
+            priority=self.priority,
+        )
+        self.requests.append(request)
+        self.system.submit(request)
+
+    def _report_motion(self) -> None:
+        if self.system is not None:
+            self.system.report_patient_motion(self.room_id)

@@ -1,0 +1,173 @@
+"""Pulse oximeter: SpO2 and heart-rate sensing with signal-processing delay.
+
+Figure 1 of the paper identifies "Signal Processing time" as one of the delay
+sources the supervisor must account for.  The simulated pulse oximeter
+samples the patient's true vital signs periodically, applies a moving-average
+signal-processing window (which both smooths noise and introduces the
+reporting delay), adds measurement noise, and publishes ``spo2`` and
+``heart_rate`` readings on the device network.  Probe-off and frozen-output
+artefacts are available for the fault-injection and smart-alarm experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.base import DeviceDescriptor, DeviceState, MedicalDevice
+from repro.patient.model import PatientModel
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class PulseOximeterConfig:
+    """Sampling and artefact parameters.
+
+    sample_period_s:
+        How often the device samples the patient.
+    averaging_window_samples:
+        Moving-average window; the effective signal-processing delay is about
+        half the window times the sample period.
+    spo2_noise_sd / heart_rate_noise_sd:
+        Gaussian measurement noise.
+    """
+
+    sample_period_s: float = 2.0
+    averaging_window_samples: int = 4
+    spo2_noise_sd: float = 0.6
+    heart_rate_noise_sd: float = 1.5
+
+    def validate(self) -> None:
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+        if self.averaging_window_samples < 1:
+            raise ValueError("averaging_window_samples must be >= 1")
+        if self.spo2_noise_sd < 0 or self.heart_rate_noise_sd < 0:
+            raise ValueError("noise standard deviations must be non-negative")
+
+    @property
+    def signal_processing_delay_s(self) -> float:
+        """Approximate group delay introduced by the averaging window."""
+        return 0.5 * (self.averaging_window_samples - 1) * self.sample_period_s
+
+
+class PulseOximeter(MedicalDevice):
+    """SpO2 / heart-rate monitor publishing to the device network."""
+
+    def __init__(
+        self,
+        device_id: str,
+        patient: PatientModel,
+        config: Optional[PulseOximeterConfig] = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        descriptor = DeviceDescriptor(
+            device_id=device_id,
+            device_type="pulse_oximeter",
+            risk_class="II",
+            published_topics=("spo2", "heart_rate", "probe_status"),
+            accepted_commands=(),
+            capabilities=("spo2_monitoring", "heart_rate_monitoring"),
+        )
+        super().__init__(descriptor, trace=trace)
+        self.config = config or PulseOximeterConfig()
+        self.config.validate()
+        self.patient = patient
+        self._rng = rng
+        self._spo2_window: Deque[float] = deque(maxlen=self.config.averaging_window_samples)
+        self._hr_window: Deque[float] = deque(maxlen=self.config.averaging_window_samples)
+        self._frozen = False
+        self._probe_off = False
+        self._frozen_values: Optional[Tuple[float, float]] = None
+        self.readings_published = 0
+
+    # --------------------------------------------------------------- process
+    def start(self) -> None:
+        self.transition(DeviceState.RUNNING)
+        self.every(self.config.sample_period_s, self._sample)
+
+    def _sample(self) -> None:
+        if not self.is_operational:
+            return
+        if self._probe_off:
+            # A detached probe reads nonsense near zero; the smart-alarm
+            # experiment relies on this signature being distinguishable from
+            # true desaturation by its abruptness and by other vitals.
+            self.publish("probe_status", {"attached": False})
+            self.publish("spo2", {"value": 0.0, "valid": False, "time": self.now})
+            self.publish("heart_rate", {"value": 0.0, "valid": False, "time": self.now})
+            self._record("spo2_reading", 0.0)
+            return
+
+        vitals = self.patient.vital_signs
+        spo2 = vitals.spo2_percent
+        heart_rate = vitals.heart_rate_bpm
+        if self._rng is not None:
+            spo2 += float(self._rng.normal(0.0, self.config.spo2_noise_sd))
+            heart_rate += float(self._rng.normal(0.0, self.config.heart_rate_noise_sd))
+        self._spo2_window.append(float(np.clip(spo2, 0.0, 100.0)))
+        self._hr_window.append(max(0.0, heart_rate))
+
+        if self._frozen:
+            if self._frozen_values is None:
+                self._frozen_values = (self.current_spo2, self.current_heart_rate)
+            reported_spo2, reported_hr = self._frozen_values
+        else:
+            reported_spo2, reported_hr = self.current_spo2, self.current_heart_rate
+
+        self.readings_published += 1
+        self.publish("spo2", {"value": reported_spo2, "valid": True, "time": self.now})
+        self.publish("heart_rate", {"value": reported_hr, "valid": True, "time": self.now})
+        self._record("spo2_reading", reported_spo2)
+        self._record("heart_rate_reading", reported_hr)
+
+    # ---------------------------------------------------------------- values
+    @property
+    def current_spo2(self) -> float:
+        """Moving-average SpO2 as the device would display it."""
+        if not self._spo2_window:
+            return float("nan")
+        return float(np.mean(self._spo2_window))
+
+    @property
+    def current_heart_rate(self) -> float:
+        if not self._hr_window:
+            return float("nan")
+        return float(np.mean(self._hr_window))
+
+    # ----------------------------------------------------------- fault hooks
+    def freeze(self) -> None:
+        """Stuck-sensor fault: keep publishing the last value."""
+        self._frozen = True
+        self._frozen_values = None
+        self._log_event("sensor_frozen", True)
+
+    def unfreeze(self) -> None:
+        self._frozen = False
+        self._frozen_values = None
+        self._log_event("sensor_frozen", False)
+
+    def detach_probe(self) -> None:
+        """Probe-off artefact (finger clip falls off)."""
+        self._probe_off = True
+        self._log_event("probe_off", True)
+
+    def reattach_probe(self) -> None:
+        self._probe_off = False
+        self._spo2_window.clear()
+        self._hr_window.clear()
+        self._log_event("probe_off", False)
+
+    def corrupt(self, spo2_offset: float = 0.0, heart_rate_offset: float = 0.0, **_ignored) -> None:
+        """Value-corruption fault hook: bias the averaging windows."""
+        self._spo2_window = deque(
+            (v + spo2_offset for v in self._spo2_window), maxlen=self.config.averaging_window_samples
+        )
+        self._hr_window = deque(
+            (v + heart_rate_offset for v in self._hr_window), maxlen=self.config.averaging_window_samples
+        )

@@ -1,0 +1,117 @@
+"""Role-based access control and auditing for the EHR store.
+
+Section III(m) of the paper notes that extensive security and privacy
+solutions exist for electronic health records and are being extended to
+MCPS.  This module provides the EHR side of that story: requests are made by
+principals acting in roles, checked against a policy, and every decision is
+appended to an audit log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class Role(enum.Enum):
+    """Clinical and technical roles that may request EHR access."""
+
+    PHYSICIAN = "physician"
+    NURSE = "nurse"
+    DEVICE_SUPERVISOR = "device_supervisor"
+    RESEARCHER = "researcher"
+    ADMINISTRATOR = "administrator"
+
+
+#: Record categories a role may read by default.  Writes are controlled
+#: separately; researchers only see de-identified aggregates.
+DEFAULT_READ_PERMISSIONS: Dict[Role, Set[str]] = {
+    Role.PHYSICIAN: {"demographics", "history", "medications", "baselines"},
+    Role.NURSE: {"demographics", "history", "medications", "baselines"},
+    Role.DEVICE_SUPERVISOR: {"baselines", "medications"},
+    Role.RESEARCHER: set(),
+    Role.ADMINISTRATOR: {"demographics"},
+}
+
+DEFAULT_WRITE_PERMISSIONS: Dict[Role, Set[str]] = {
+    Role.PHYSICIAN: {"history", "medications", "baselines"},
+    Role.NURSE: {"history", "medications"},
+    Role.DEVICE_SUPERVISOR: {"history"},
+    Role.RESEARCHER: set(),
+    Role.ADMINISTRATOR: set(),
+}
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """A request by ``principal`` (acting as ``role``) to access a record category."""
+
+    principal: str
+    role: Role
+    patient_id: str
+    category: str
+    write: bool = False
+    purpose: str = ""
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    request: AccessRequest
+    allowed: bool
+    reason: str
+    time: float = 0.0
+
+
+class AccessPolicy:
+    """Role-based EHR access policy with consent overrides and an audit log."""
+
+    def __init__(
+        self,
+        read_permissions: Optional[Dict[Role, Set[str]]] = None,
+        write_permissions: Optional[Dict[Role, Set[str]]] = None,
+    ) -> None:
+        self._read = {role: set(cats) for role, cats in (read_permissions or DEFAULT_READ_PERMISSIONS).items()}
+        self._write = {role: set(cats) for role, cats in (write_permissions or DEFAULT_WRITE_PERMISSIONS).items()}
+        self._denied_patients: Dict[str, Set[str]] = {}  # patient -> principals denied by consent
+        self.audit_log: List[AccessDecision] = []
+
+    # ----------------------------------------------------------- adjustments
+    def grant(self, role: Role, category: str, *, write: bool = False) -> None:
+        table = self._write if write else self._read
+        table.setdefault(role, set()).add(category)
+
+    def revoke(self, role: Role, category: str, *, write: bool = False) -> None:
+        table = self._write if write else self._read
+        table.setdefault(role, set()).discard(category)
+
+    def withdraw_consent(self, patient_id: str, principal: str) -> None:
+        """Patient-specific consent withdrawal overriding role permissions."""
+        self._denied_patients.setdefault(patient_id, set()).add(principal)
+
+    # --------------------------------------------------------------- checking
+    def check(self, request: AccessRequest, *, time: float = 0.0) -> AccessDecision:
+        """Evaluate a request, append the decision to the audit log, return it."""
+        decision = self._evaluate(request, time)
+        self.audit_log.append(decision)
+        return decision
+
+    def _evaluate(self, request: AccessRequest, time: float) -> AccessDecision:
+        denied = self._denied_patients.get(request.patient_id, set())
+        if request.principal in denied:
+            return AccessDecision(request, False, "patient withdrew consent for this principal", time)
+        table = self._write if request.write else self._read
+        allowed_categories = table.get(request.role, set())
+        if request.category not in allowed_categories:
+            verb = "write" if request.write else "read"
+            return AccessDecision(
+                request, False, f"role {request.role.value} may not {verb} {request.category}", time
+            )
+        return AccessDecision(request, True, "permitted by role policy", time)
+
+    # ------------------------------------------------------------------ audit
+    def denials(self) -> List[AccessDecision]:
+        return [decision for decision in self.audit_log if not decision.allowed]
+
+    def accesses_for_patient(self, patient_id: str) -> List[AccessDecision]:
+        return [d for d in self.audit_log if d.request.patient_id == patient_id]

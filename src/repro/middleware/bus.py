@@ -1,0 +1,214 @@
+"""Topic-based publish/subscribe bus over simulated network channels.
+
+The bus is the ICE "network controller": every attached device gets its own
+uplink channel to the bus and the bus forwards messages to subscriber
+downlink channels, so end-to-end latency is the sum of two channel delays
+plus any bus processing delay.  Channels can be degraded or cut by the fault
+injector to model communication failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.devices.base import MedicalDevice
+from repro.sim.channel import Channel, ChannelConfig, Message
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class BusConfig:
+    """Network parameters for the device bus.
+
+    uplink / downlink:
+        Channel configurations for device-to-bus and bus-to-subscriber links.
+    processing_delay_s:
+        Fixed forwarding delay inside the bus (message validation, routing).
+    """
+
+    uplink: ChannelConfig = field(default_factory=lambda: ChannelConfig(latency_s=0.02))
+    downlink: ChannelConfig = field(default_factory=lambda: ChannelConfig(latency_s=0.02))
+    processing_delay_s: float = 0.005
+
+    def validate(self) -> None:
+        self.uplink.validate()
+        self.downlink.validate()
+        if self.processing_delay_s < 0:
+            raise ValueError("processing_delay_s must be non-negative")
+
+
+class DeviceBus:
+    """Publish/subscribe message bus connecting devices and supervisors."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: Optional[BusConfig] = None,
+        *,
+        rng=None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.config = config or BusConfig()
+        self.config.validate()
+        self._rng = rng
+        self.trace = trace
+        self._uplinks: Dict[str, Channel] = {}
+        self._downlinks: Dict[str, Channel] = {}
+        self._subscriptions: Dict[str, List[Tuple[str, Callable[[str, Any, Message], None]]]] = {}
+        self._attached_devices: Dict[str, MedicalDevice] = {}
+        self._command_routes: set = set()
+        self.published_count = 0
+        self.forwarded_count = 0
+
+    # ------------------------------------------------------------ attachment
+    def attach_device(self, device: MedicalDevice) -> Channel:
+        """Attach a device: create its uplink and wire its publish method."""
+        device_id = device.descriptor.device_id
+        if device_id in self._attached_devices:
+            raise ValueError(f"device {device_id!r} is already attached to the bus")
+        uplink = self._make_uplink(device_id)
+        self._attached_devices[device_id] = device
+        device.attach_publisher(lambda topic, payload, d=device_id: self.publish(d, topic, payload))
+        return uplink
+
+    def attach_endpoint(self, endpoint_id: str) -> None:
+        """Attach a non-device endpoint (supervisor, logger) for subscriptions."""
+        if endpoint_id not in self._downlinks:
+            self._downlinks[endpoint_id] = Channel(
+                self.simulator,
+                name=f"downlink:{endpoint_id}",
+                config=self.config.downlink,
+                rng=self._rng,
+            )
+
+    def _make_uplink(self, device_id: str) -> Channel:
+        if device_id not in self._uplinks:
+            channel = Channel(
+                self.simulator,
+                name=f"uplink:{device_id}",
+                config=self.config.uplink,
+                rng=self._rng,
+            )
+            channel.subscribe(self._on_uplink_message)
+            self._uplinks[device_id] = channel
+        return self._uplinks[device_id]
+
+    def uplink(self, device_id: str) -> Channel:
+        return self._uplinks[device_id]
+
+    def downlink(self, endpoint_id: str) -> Channel:
+        return self._downlinks[endpoint_id]
+
+    @property
+    def devices(self) -> Dict[str, MedicalDevice]:
+        return dict(self._attached_devices)
+
+    @property
+    def channels(self) -> List[Channel]:
+        return list(self._uplinks.values()) + list(self._downlinks.values())
+
+    # ------------------------------------------------------------ publishing
+    def publish(self, device_id: str, topic: str, payload: Any) -> None:
+        """Called by devices; routes the message through the device's uplink."""
+        uplink = self._make_uplink(device_id)
+        self.published_count += 1
+        if self.trace is not None:
+            self.trace.event(self.simulator.now, f"bus:publish:{topic}", payload, source=device_id)
+        uplink.send(device_id, topic, payload)
+
+    def _on_uplink_message(self, message: Message) -> None:
+        """Uplink delivery: forward to each subscriber after bus processing delay."""
+        self.simulator.schedule(
+            self.config.processing_delay_s,
+            lambda: self._forward(message),
+            name=f"bus:forward:{message.topic}",
+        )
+
+    def _forward(self, message: Message) -> None:
+        # Deliver one copy per subscribed endpoint; the endpoint's downlink
+        # channel then fans the message out to the handlers registered at
+        # subscribe() time.  The original publish time travels in the
+        # envelope for end-to-end latency accounting.
+        endpoints = {endpoint_id for endpoint_id, _ in self._subscriptions.get(message.topic, [])}
+        for endpoint_id in endpoints:
+            downlink = self._downlinks.get(endpoint_id)
+            if downlink is None:
+                continue
+            self.forwarded_count += 1
+            downlink.send(
+                message.sender,
+                message.topic,
+                {"payload": message.payload, "published_at": message.sent_at},
+            )
+
+    # ---------------------------------------------------------- subscribing
+    def subscribe(
+        self,
+        endpoint_id: str,
+        topic: str,
+        handler: Callable[[str, Any, Message], None],
+    ) -> None:
+        """Subscribe ``endpoint_id`` to ``topic``.
+
+        ``handler(topic, payload, message)`` is called on each delivery, where
+        ``message`` is the downlink delivery record (including end-to-end
+        latency information).
+        """
+        self.attach_endpoint(endpoint_id)
+        downlink = self._downlinks[endpoint_id]
+
+        def _deliver(message: Message, topic=topic, handler=handler) -> None:
+            envelope = message.payload
+            handler(topic, envelope["payload"], message)
+
+        downlink.subscribe(_deliver, topic=topic)
+        self._subscriptions.setdefault(topic, []).append((endpoint_id, handler))
+
+    def subscribers(self, topic: str) -> List[str]:
+        return [endpoint for endpoint, _ in self._subscriptions.get(topic, [])]
+
+    # -------------------------------------------------------------- commands
+    def send_command(
+        self,
+        sender_id: str,
+        device_id: str,
+        command: str,
+        parameters: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Send a command to a device through its uplink channel (reverse path).
+
+        Returns True if the command was handed to the network (delivery may
+        still fail if the channel drops it or the device rejects it).
+        """
+        device = self._attached_devices.get(device_id)
+        if device is None:
+            return False
+        channel = self._make_uplink(device_id)
+        command_topic = f"__command__:{device_id}:{command}"
+        if command_topic not in self._command_routes:
+            def _deliver(message: Message, device=device, command=command) -> None:
+                device.handle_command(command, message.payload)
+
+            channel.subscribe(_deliver, topic=command_topic)
+            self._command_routes.add(command_topic)
+        channel.send(sender_id, command_topic, parameters or {})
+        if self.trace is not None:
+            self.trace.event(
+                self.simulator.now,
+                f"bus:command:{command}",
+                {"target": device_id, "sender": sender_id},
+                source=sender_id,
+            )
+        return True
+
+    # ------------------------------------------------------------ statistics
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "published": self.published_count,
+            "forwarded": self.forwarded_count,
+            "uplinks": {name: ch.stats() for name, ch in self._uplinks.items()},
+            "downlinks": {name: ch.stats() for name, ch in self._downlinks.items()},
+        }

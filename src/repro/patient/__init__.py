@@ -1,0 +1,43 @@
+"""Patient modeling and simulation.
+
+The paper (Section III(h)) calls for patient models covering drug absorption
+and the relationship between drug dose/concentration and vital signs, citing
+pharmacokinetic models from the anaesthesia literature (Mazoit et al.).  This
+package implements:
+
+* :class:`~repro.patient.pharmacokinetics.TwoCompartmentPK` -- a standard
+  two-compartment pharmacokinetic model of opioid (morphine-like) infusion.
+* :class:`~repro.patient.pharmacodynamics.RespiratoryDepressionPD` -- an
+  effect-site Hill model mapping drug concentration to respiratory drive.
+* :class:`~repro.patient.vitals.VitalSignsModel` -- SpO2, heart rate, and
+  respiratory-rate dynamics driven by the PD output, pain level, and
+  measurement noise/artefacts.
+* :class:`~repro.patient.map_model.ArterialPressureModel` -- mean arterial
+  pressure with the bed-height measurement artefact used by the
+  mixed-criticality scenario (Section III(l)).
+* :class:`~repro.patient.population.PatientPopulation` -- sampling of
+  patient parameter sets (weight, age, opioid sensitivity, baseline vitals).
+* :class:`~repro.patient.model.PatientModel` -- the composite model wired
+  into the simulation kernel; this is the "Patient Model" box of Figure 1.
+"""
+
+from repro.patient.pharmacokinetics import PKParameters, TwoCompartmentPK
+from repro.patient.pharmacodynamics import PDParameters, RespiratoryDepressionPD
+from repro.patient.vitals import VitalSigns, VitalSignsModel, VitalSignsParameters
+from repro.patient.map_model import ArterialPressureModel
+from repro.patient.population import PatientParameters, PatientPopulation
+from repro.patient.model import PatientModel
+
+__all__ = [
+    "PKParameters",
+    "TwoCompartmentPK",
+    "PDParameters",
+    "RespiratoryDepressionPD",
+    "VitalSigns",
+    "VitalSignsModel",
+    "VitalSignsParameters",
+    "ArterialPressureModel",
+    "PatientParameters",
+    "PatientPopulation",
+    "PatientModel",
+]

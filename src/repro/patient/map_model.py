@@ -1,0 +1,100 @@
+"""Mean arterial pressure (MAP) model with the bed-height measurement artefact.
+
+Section III(l) of the paper describes a "mixed criticality" scenario:
+measurement of mean arterial pressure depends on the relative position of the
+patient and sensor, so raising the patient's bed changes the MAP *reading*
+without any physiological change, potentially triggering false alarms in a
+trend-following monitoring system.  This model separates the patient's true
+MAP from the transducer reading so the context-aware alarm experiment (E5)
+can quantify the false alarms caused -- and suppressed -- by bed motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+# Hydrostatic pressure of a 1 cm blood column, in mmHg.  Raising the
+# transducer relative to the heart lowers the measured pressure by this much
+# per centimetre of height difference.
+MMHG_PER_CM_HEIGHT = 0.74
+
+
+@dataclass
+class ArterialPressureParameters:
+    baseline_map_mmhg: float = 90.0
+    noise_sd_mmhg: float = 1.5
+    drift_time_constant_min: float = 20.0
+    hypotension_threshold_mmhg: float = 65.0
+
+    def validate(self) -> None:
+        if self.baseline_map_mmhg <= 0:
+            raise ValueError("baseline_map_mmhg must be positive")
+        if self.noise_sd_mmhg < 0:
+            raise ValueError("noise_sd_mmhg must be non-negative")
+        if self.drift_time_constant_min <= 0:
+            raise ValueError("drift_time_constant_min must be positive")
+
+
+class ArterialPressureModel:
+    """True MAP dynamics plus a transducer whose reading depends on bed height."""
+
+    def __init__(
+        self,
+        parameters: Optional[ArterialPressureParameters] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.parameters = parameters or ArterialPressureParameters()
+        self.parameters.validate()
+        self._rng = rng
+        self._true_map = self.parameters.baseline_map_mmhg
+        self._target_map = self.parameters.baseline_map_mmhg
+        self._bed_height_offset_cm = 0.0
+
+    # ----------------------------------------------------------------- state
+    @property
+    def true_map_mmhg(self) -> float:
+        """The patient's actual mean arterial pressure."""
+        return self._true_map
+
+    @property
+    def bed_height_offset_cm(self) -> float:
+        """Transducer height offset relative to its calibrated position."""
+        return self._bed_height_offset_cm
+
+    @property
+    def measured_map_mmhg(self) -> float:
+        """What the pressure transducer reports, including the height artefact."""
+        reading = self._true_map - self._bed_height_offset_cm * MMHG_PER_CM_HEIGHT
+        if self._rng is not None and self.parameters.noise_sd_mmhg > 0:
+            reading += float(self._rng.normal(0.0, self.parameters.noise_sd_mmhg))
+        return reading
+
+    # -------------------------------------------------------------- dynamics
+    def set_target_map(self, target_mmhg: float) -> None:
+        """Start a physiological drift toward ``target_mmhg`` (e.g. real hypotension)."""
+        if target_mmhg <= 0:
+            raise ValueError("target MAP must be positive")
+        self._target_map = target_mmhg
+
+    def set_bed_height_offset(self, offset_cm: float) -> None:
+        """Raise (+) or lower (-) the bed / transducer by ``offset_cm``."""
+        self._bed_height_offset_cm = float(offset_cm)
+
+    def advance(self, dt_min: float) -> float:
+        """Advance the true-MAP drift by ``dt_min`` minutes; returns true MAP."""
+        if dt_min < 0:
+            raise ValueError("dt_min must be non-negative")
+        decay = np.exp(-dt_min / self.parameters.drift_time_constant_min)
+        self._true_map = float(self._target_map + (self._true_map - self._target_map) * decay)
+        return self._true_map
+
+    # -------------------------------------------------------------- analysis
+    def is_truly_hypotensive(self) -> bool:
+        return self._true_map < self.parameters.hypotension_threshold_mmhg
+
+    def reading_is_hypotensive(self, reading: Optional[float] = None) -> bool:
+        value = self.measured_map_mmhg if reading is None else reading
+        return value < self.parameters.hypotension_threshold_mmhg

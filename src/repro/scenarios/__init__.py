@@ -1,0 +1,36 @@
+"""End-to-end clinical scenarios used by the examples and experiments.
+
+Each module builds a complete simulated clinical situation from the paper:
+
+* :mod:`~repro.scenarios.pca_scenario` -- the closed-loop PCA scenario as a
+  declarative :class:`~repro.workflow.spec.ClinicalScenario`, plus the fault
+  workloads (misprogramming, PCA-by-proxy, sensitive patients) used by E1.
+* :mod:`~repro.scenarios.xray_vent` -- X-ray / ventilator synchronisation
+  (Section II(b)); compares manual, pause/restart, and state-broadcast
+  coordination.
+* :mod:`~repro.scenarios.bed_map` -- the mixed-criticality bed / MAP
+  false-alarm scenario (Section III(l)).
+* :mod:`~repro.scenarios.proton` -- proton-therapy beam scheduling with
+  patient-motion interrupts (Section II(a)).
+* :mod:`~repro.scenarios.home` -- continuous home monitoring: store-and-
+  forward versus real-time closed-loop telemonitoring (Section II(d)).
+"""
+
+from repro.scenarios.pca_scenario import build_pca_scenario_spec, pca_fault_campaign
+from repro.scenarios.xray_vent import XRayVentilatorScenario, XRayVentilatorResult
+from repro.scenarios.bed_map import BedMapScenario, BedMapResult
+from repro.scenarios.proton import ProtonSchedulingScenario, ProtonSchedulingResult
+from repro.scenarios.home import HomeMonitoringScenario, HomeMonitoringResult
+
+__all__ = [
+    "build_pca_scenario_spec",
+    "pca_fault_campaign",
+    "XRayVentilatorScenario",
+    "XRayVentilatorResult",
+    "BedMapScenario",
+    "BedMapResult",
+    "ProtonSchedulingScenario",
+    "ProtonSchedulingResult",
+    "HomeMonitoringScenario",
+    "HomeMonitoringResult",
+]

@@ -1,0 +1,246 @@
+"""Declarative specification and fault workloads for the closed-loop PCA scenario.
+
+This module complements :mod:`repro.core.loop` (which wires the executable
+system) with the *declarative* scenario description of Section III(e) -- the
+artefact that the workflow analysis, device matching, and scenario
+compilation operate on -- and with the standard fault campaign used by
+experiment E1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.faults import FaultSpec
+from repro.workflow.spec import (
+    CaregiverRole,
+    ClinicalScenario,
+    DataFlow,
+    DecisionRule,
+    DeviceRole,
+    ProcedureStep,
+)
+
+
+def build_pca_scenario_spec(
+    *,
+    spo2_stop_threshold: float = 92.0,
+    respiratory_rate_stop_threshold: float = 8.0,
+    include_capnograph: bool = True,
+) -> ClinicalScenario:
+    """The closed-loop PCA safety scenario as a clinical workflow specification."""
+    device_roles = [
+        DeviceRole(
+            role="analgesia_pump",
+            device_type="pca_pump",
+            required_topics=("pump_status",),
+            required_commands=("stop", "resume"),
+            description="PCA pump delivering opioid boluses on patient demand",
+        ),
+        DeviceRole(
+            role="spo2_source",
+            device_type="pulse_oximeter",
+            required_topics=("spo2", "heart_rate"),
+            description="pulse oximeter on the patient's finger",
+        ),
+    ]
+    data_flows = [
+        DataFlow(source_role="spo2_source", topic="spo2", destination_role="supervisor",
+                 max_latency_s=1.0, max_period_s=5.0),
+        DataFlow(source_role="spo2_source", topic="heart_rate", destination_role="supervisor",
+                 max_latency_s=1.0, max_period_s=5.0),
+        DataFlow(source_role="analgesia_pump", topic="pump_status", destination_role="supervisor",
+                 max_latency_s=2.0, max_period_s=20.0),
+    ]
+    decision_rules = [
+        DecisionRule(
+            name="stop_on_desaturation",
+            condition=lambda obs: obs["spo2"] < spo2_stop_threshold,
+            target_role="analgesia_pump",
+            command="stop",
+            priority=10,
+            description="stop the infusion when SpO2 falls below the safety threshold",
+        ),
+    ]
+    if include_capnograph:
+        device_roles.append(
+            DeviceRole(
+                role="respiration_source",
+                device_type="capnograph",
+                required_topics=("respiratory_rate",),
+                description="capnograph measuring respiratory rate",
+            )
+        )
+        data_flows.append(
+            DataFlow(source_role="respiration_source", topic="respiratory_rate",
+                     destination_role="supervisor", max_latency_s=1.0, max_period_s=10.0)
+        )
+        decision_rules.append(
+            DecisionRule(
+                name="stop_on_hypoventilation",
+                condition=lambda obs: obs["respiratory_rate"] < respiratory_rate_stop_threshold,
+                target_role="analgesia_pump",
+                command="stop",
+                priority=9,
+                description="stop the infusion when the respiratory rate collapses",
+            )
+        )
+
+    caregiver_roles = [
+        CaregiverRole(
+            role="nurse",
+            description="ward nurse responsible for the patient",
+            responsibilities=("programme the pump", "respond to supervisor alarms"),
+        ),
+        CaregiverRole(
+            role="pharmacist",
+            description="prepares and labels the opioid syringe",
+            responsibilities=("verify drug concentration",),
+        ),
+    ]
+    procedure = [
+        ProcedureStep(
+            step_id="verify_prescription",
+            role="pharmacist",
+            action="verify the prescription and syringe concentration",
+            next_steps={"ok": "program_pump", "mismatch": "escalate_pharmacy"},
+            is_initial=True,
+            expected_duration_s=180.0,
+        ),
+        ProcedureStep(
+            step_id="escalate_pharmacy",
+            role="pharmacist",
+            action="return the syringe to the pharmacy and obtain a corrected one",
+            next_steps={"ok": "verify_prescription"},
+            expected_duration_s=900.0,
+        ),
+        ProcedureStep(
+            step_id="program_pump",
+            role="nurse",
+            action="programme bolus dose, lockout, and hourly limit into the pump",
+            next_steps={"ok": "attach_sensors", "programming_error": "program_pump"},
+            expected_duration_s=240.0,
+        ),
+        ProcedureStep(
+            step_id="attach_sensors",
+            role="nurse",
+            action="attach pulse oximeter (and capnograph) to the patient",
+            next_steps={"ok": "start_infusion", "sensor_fault": "replace_sensor"},
+            expected_duration_s=120.0,
+        ),
+        ProcedureStep(
+            step_id="replace_sensor",
+            role="nurse",
+            action="replace the faulty sensor",
+            next_steps={"ok": "attach_sensors"},
+            expected_duration_s=300.0,
+        ),
+        ProcedureStep(
+            step_id="start_infusion",
+            role="nurse",
+            action="start the PCA infusion and verify supervisor connectivity",
+            next_steps={"ok": "monitor", "no_connectivity": "troubleshoot_network"},
+            expected_duration_s=120.0,
+        ),
+        ProcedureStep(
+            step_id="troubleshoot_network",
+            role="nurse",
+            action="re-establish the device network connection or revert to open-loop monitoring",
+            next_steps={"ok": "start_infusion", "unresolved": "revert_open_loop"},
+            expected_duration_s=600.0,
+        ),
+        ProcedureStep(
+            step_id="revert_open_loop",
+            role="nurse",
+            action="document reversion to standard monitoring and increase rounding frequency",
+            next_steps={},
+            expected_duration_s=120.0,
+        ),
+        ProcedureStep(
+            step_id="monitor",
+            role="nurse",
+            action="respond to supervisor alarms; assess the patient at every alarm",
+            next_steps={"alarm": "assess_patient", "shift_end": "handover"},
+            expected_duration_s=1800.0,
+        ),
+        ProcedureStep(
+            step_id="assess_patient",
+            role="nurse",
+            action="assess sedation and respiration; resume or discontinue therapy",
+            next_steps={"resume": "monitor", "discontinue": "handover"},
+            expected_duration_s=300.0,
+        ),
+        ProcedureStep(
+            step_id="handover",
+            role="nurse",
+            action="hand the patient over to the next shift with the PCA status",
+            next_steps={},
+            expected_duration_s=300.0,
+        ),
+    ]
+
+    return ClinicalScenario(
+        name="closed_loop_pca",
+        description="Closed-loop patient-controlled analgesia with a safety supervisor (Figure 1)",
+        device_roles=device_roles,
+        data_flows=data_flows,
+        caregiver_roles=caregiver_roles,
+        procedure=procedure,
+        decision_rules=decision_rules,
+    )
+
+
+#: The per-step outcome alphabet used when analysing the PCA procedure for
+#: coverage (experiment E9 seeds defects by deleting transitions from it).
+PCA_OUTCOME_ALPHABET: Dict[str, List[str]] = {
+    "verify_prescription": ["ok", "mismatch"],
+    "program_pump": ["ok", "programming_error"],
+    "attach_sensors": ["ok", "sensor_fault"],
+    "start_infusion": ["ok", "no_connectivity"],
+    "troubleshoot_network": ["ok", "unresolved"],
+    "monitor": ["alarm", "shift_end"],
+    "assess_patient": ["resume", "discontinue"],
+}
+
+
+def pca_fault_campaign(
+    *,
+    misprogramming_rate_multiplier: float = 4.0,
+    misprogramming_time_s: float = 1800.0,
+    proxy_press_time_s: float = 3600.0,
+    proxy_press_count: int = 6,
+    include_communication_outage: bool = False,
+    outage_start_s: float = 5400.0,
+    outage_duration_s: float = 600.0,
+) -> List[FaultSpec]:
+    """The standard fault workload of experiment E1.
+
+    Combines the adverse-event causes the paper enumerates: misprogramming
+    (wrong rate), PCA-by-proxy (someone else pressing the button), and --
+    optionally -- a communication outage on the oximeter uplink that the
+    supervisor must fail safe on.
+    """
+    faults = [
+        FaultSpec(
+            kind="misprogramming",
+            start=misprogramming_time_s,
+            target="pca-pump-1",
+            parameters={"rate_multiplier": misprogramming_rate_multiplier},
+        ),
+        FaultSpec(
+            kind="pca_by_proxy",
+            start=proxy_press_time_s,
+            target="pca-pump-1",
+            parameters={"count": proxy_press_count},
+        ),
+    ]
+    if include_communication_outage:
+        faults.append(
+            FaultSpec(
+                kind="channel_outage",
+                start=outage_start_s,
+                duration=outage_duration_s,
+                target="uplink:pulse-ox-1",
+            )
+        )
+    return faults

@@ -1,0 +1,147 @@
+"""Attack models against the medical device network.
+
+Experiment E7 runs attack campaigns against each security posture and counts
+which attacks reach a patient-harming command, reproducing the paper's
+flexibility-versus-security tradeoff (Section III(m), citing Halperin et
+al.'s implantable-device attacks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.security.auth import DeviceAuthenticator, DeviceCredential
+from repro.security.policy import CommandAuthorizationPolicy
+
+
+class AttackOutcome(enum.Enum):
+    BLOCKED_AUTHENTICATION = "blocked_authentication"
+    BLOCKED_AUTHORIZATION = "blocked_authorization"
+    SUCCEEDED = "succeeded"
+
+
+@dataclass(frozen=True)
+class Attack:
+    """One attack attempt.
+
+    kind:
+        ``reprogram`` (send a set_prescription/resume command), ``replay``
+        (re-send a captured authentication response), ``flood`` (command
+        flooding for denial of service), or ``insider`` (a compromised but
+        legitimately provisioned principal).
+    """
+
+    kind: str
+    attacker: str
+    target_device: str
+    command: str
+    uses_stolen_credential: bool = False
+    replayed_response: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("reprogram", "replay", "flood", "insider"):
+            raise ValueError(f"unknown attack kind {self.kind!r}")
+
+
+@dataclass
+class AttackResult:
+    attack: Attack
+    outcome: AttackOutcome
+    detail: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome == AttackOutcome.SUCCEEDED
+
+
+class AttackCampaign:
+    """Runs a list of attacks against an authenticator + authorisation policy."""
+
+    def __init__(
+        self,
+        authenticator: DeviceAuthenticator,
+        policy: CommandAuthorizationPolicy,
+        *,
+        stolen_credentials: Optional[Dict[str, DeviceCredential]] = None,
+    ) -> None:
+        self.authenticator = authenticator
+        self.policy = policy
+        self.stolen_credentials = dict(stolen_credentials or {})
+        self.results: List[AttackResult] = []
+
+    def run(self, attacks: List[Attack]) -> List[AttackResult]:
+        results = [self._execute(attack) for attack in attacks]
+        self.results.extend(results)
+        return results
+
+    # --------------------------------------------------------------- helpers
+    def _execute(self, attack: Attack) -> AttackResult:
+        authenticated = self._attempt_authentication(attack)
+        if not authenticated:
+            return AttackResult(attack, AttackOutcome.BLOCKED_AUTHENTICATION, "authentication failed")
+        self.policy.mark_authenticated(attack.attacker)
+        allowed, reason = self.policy.authorise(attack.attacker, attack.target_device, attack.command)
+        if allowed:
+            return AttackResult(attack, AttackOutcome.SUCCEEDED, reason)
+        return AttackResult(attack, AttackOutcome.BLOCKED_AUTHORIZATION, reason)
+
+    def _attempt_authentication(self, attack: Attack) -> bool:
+        if not self.policy.require_authentication:
+            return True
+        if attack.kind == "insider":
+            # An insider already holds valid credentials and a session.
+            credential = self.stolen_credentials.get(attack.attacker)
+            if credential is not None:
+                return self.authenticator.authenticate(credential)
+            return self.authenticator.is_authenticated(attack.attacker)
+        if attack.uses_stolen_credential:
+            credential = self.stolen_credentials.get(attack.attacker)
+            if credential is None:
+                return False
+            return self.authenticator.authenticate(credential)
+        if attack.kind == "replay" and attack.replayed_response is not None:
+            # Replaying an old response against a fresh nonce always fails,
+            # but the attempt is modelled faithfully.
+            if not self.authenticator.is_provisioned(attack.attacker):
+                return False
+            self.authenticator.challenge(attack.attacker)
+            return self.authenticator.verify(attack.attacker, attack.replayed_response)
+        return False
+
+    # --------------------------------------------------------------- metrics
+    def success_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for result in self.results if result.succeeded) / len(self.results)
+
+    def outcomes(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {outcome.value: 0 for outcome in AttackOutcome}
+        for result in self.results:
+            counts[result.outcome.value] += 1
+        return counts
+
+
+def standard_reprogramming_campaign(target_device: str = "pca-pump-1") -> List[Attack]:
+    """The default attack workload used by experiment E7."""
+    attacks: List[Attack] = []
+    for index in range(10):
+        attacks.append(
+            Attack(kind="reprogram", attacker=f"external-{index}", target_device=target_device,
+                   command="set_prescription")
+        )
+    for index in range(5):
+        attacks.append(
+            Attack(kind="replay", attacker=f"eavesdropper-{index}", target_device=target_device,
+                   command="resume", replayed_response=b"\x00" * 32)
+        )
+    for index in range(5):
+        attacks.append(
+            Attack(kind="flood", attacker=f"flooder-{index}", target_device=target_device, command="stop")
+        )
+    attacks.append(
+        Attack(kind="insider", attacker="pca-safety-app", target_device=target_device,
+               command="set_prescription", uses_stolen_credential=True)
+    )
+    return attacks

@@ -1,0 +1,100 @@
+"""Append-only, hash-chained audit log for security-relevant events."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audit entry, chained to its predecessor by hash."""
+
+    index: int
+    time: float
+    actor: str
+    action: str
+    details: Dict[str, Any]
+    previous_hash: str
+    entry_hash: str
+
+
+def _hash_entry(index: int, time: float, actor: str, action: str, details: Dict[str, Any], previous_hash: str) -> str:
+    payload = json.dumps(
+        {"index": index, "time": time, "actor": actor, "action": action,
+         "details": details, "previous": previous_hash},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class AuditLog:
+    """Hash-chained audit log; any mutation of past entries is detectable."""
+
+    GENESIS = "0" * 64
+
+    def __init__(self) -> None:
+        self._records: List[AuditRecord] = []
+
+    def append(self, time: float, actor: str, action: str, details: Optional[Dict[str, Any]] = None) -> AuditRecord:
+        details = dict(details or {})
+        index = len(self._records)
+        previous_hash = self._records[-1].entry_hash if self._records else self.GENESIS
+        entry_hash = _hash_entry(index, time, actor, action, details, previous_hash)
+        record = AuditRecord(
+            index=index,
+            time=time,
+            actor=actor,
+            action=action,
+            details=details,
+            previous_hash=previous_hash,
+            entry_hash=entry_hash,
+        )
+        self._records.append(record)
+        return record
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records_for(self, actor: str) -> List[AuditRecord]:
+        return [record for record in self._records if record.actor == actor]
+
+    def records_with_action(self, action: str) -> List[AuditRecord]:
+        return [record for record in self._records if record.action == action]
+
+    # ------------------------------------------------------------- integrity
+    def verify_chain(self) -> bool:
+        """Recompute every hash; returns False if any entry was tampered with."""
+        previous_hash = self.GENESIS
+        for index, record in enumerate(self._records):
+            if record.index != index or record.previous_hash != previous_hash:
+                return False
+            expected = _hash_entry(
+                record.index, record.time, record.actor, record.action, record.details, record.previous_hash
+            )
+            if expected != record.entry_hash:
+                return False
+            previous_hash = record.entry_hash
+        return True
+
+    def tamper(self, index: int, **changes: Any) -> None:
+        """Test helper: overwrite fields of an existing record (breaks the chain)."""
+        record = self._records[index]
+        data = {
+            "index": record.index,
+            "time": record.time,
+            "actor": record.actor,
+            "action": record.action,
+            "details": record.details,
+            "previous_hash": record.previous_hash,
+            "entry_hash": record.entry_hash,
+        }
+        data.update(changes)
+        self._records[index] = AuditRecord(**data)

@@ -1,0 +1,94 @@
+"""Device authentication: shared-key identity with challenge-response.
+
+Keys never cross the simulated network; principals prove possession of the
+key by answering a nonce challenge with an HMAC.  Replayed responses are
+rejected because each nonce is single-use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+class AuthenticationError(RuntimeError):
+    """Raised when authentication fails irrecoverably (unknown principal, ...)."""
+
+
+@dataclass(frozen=True)
+class DeviceCredential:
+    """A principal's provisioned identity."""
+
+    principal: str
+    key: bytes
+
+    def respond(self, nonce: bytes) -> bytes:
+        """Compute the challenge response for ``nonce``."""
+        return hmac.new(self.key, nonce, hashlib.sha256).digest()
+
+
+class DeviceAuthenticator:
+    """Verifies principals by nonce challenge-response."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[str, bytes] = {}
+        self._outstanding: Dict[str, bytes] = {}
+        self._used_nonces: Set[bytes] = set()
+        self._nonce_counter = 0
+        self.authenticated: Set[str] = set()
+        self.failed_attempts: Dict[str, int] = {}
+
+    # ----------------------------------------------------------- provisioning
+    def provision(self, principal: str, key: bytes) -> DeviceCredential:
+        """Provision a key for ``principal`` (done out of band, e.g. at install)."""
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._keys[principal] = key
+        return DeviceCredential(principal=principal, key=key)
+
+    def is_provisioned(self, principal: str) -> bool:
+        return principal in self._keys
+
+    # -------------------------------------------------------------- handshake
+    def challenge(self, principal: str) -> bytes:
+        """Issue a fresh nonce for ``principal``."""
+        if principal not in self._keys:
+            raise AuthenticationError(f"principal {principal!r} is not provisioned")
+        self._nonce_counter += 1
+        nonce = hashlib.sha256(f"{principal}:{self._nonce_counter}".encode("utf-8")).digest()
+        self._outstanding[principal] = nonce
+        return nonce
+
+    def verify(self, principal: str, response: bytes) -> bool:
+        """Verify a challenge response; marks the principal authenticated on success."""
+        nonce = self._outstanding.pop(principal, None)
+        if nonce is None or principal not in self._keys:
+            self._record_failure(principal)
+            return False
+        if nonce in self._used_nonces:
+            self._record_failure(principal)
+            return False
+        expected = hmac.new(self._keys[principal], nonce, hashlib.sha256).digest()
+        if hmac.compare_digest(expected, response):
+            self._used_nonces.add(nonce)
+            self.authenticated.add(principal)
+            return True
+        self._record_failure(principal)
+        return False
+
+    def authenticate(self, credential: DeviceCredential) -> bool:
+        """Full handshake convenience: challenge + respond + verify."""
+        nonce = self.challenge(credential.principal)
+        return self.verify(credential.principal, credential.respond(nonce))
+
+    def _record_failure(self, principal: str) -> None:
+        self.failed_attempts[principal] = self.failed_attempts.get(principal, 0) + 1
+
+    # ----------------------------------------------------------------- status
+    def is_authenticated(self, principal: str) -> bool:
+        return principal in self.authenticated
+
+    def deauthenticate(self, principal: str) -> None:
+        self.authenticated.discard(principal)

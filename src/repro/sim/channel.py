@@ -1,0 +1,211 @@
+"""Network channels between medical devices.
+
+The paper's closed-loop scenarios hinge on communication timing: the
+supervisor must account for transmission delays and tolerate communication
+failures (Section II(c)), and the X-ray/ventilator scenario requires the
+X-ray machine to reason about "enough time -- taking transmission delays into
+account" (Section II(b)).  :class:`Channel` models a point-to-point or
+broadcast link with configurable latency, jitter, loss probability, and
+scripted outages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class Message:
+    """A datagram exchanged between devices or middleware components."""
+
+    sender: str
+    topic: str
+    payload: Any
+    sent_at: float
+    sequence: int
+    delivered_at: Optional[float] = None
+
+    def with_delivery(self, time: float) -> "Message":
+        return Message(
+            sender=self.sender,
+            topic=self.topic,
+            payload=self.payload,
+            sent_at=self.sent_at,
+            sequence=self.sequence,
+            delivered_at=time,
+        )
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+
+@dataclass
+class ChannelConfig:
+    """Timing and reliability parameters of a network link.
+
+    latency_s:
+        Fixed propagation plus processing delay in seconds.
+    jitter_s:
+        Half-width of a uniform jitter added to the latency.
+    loss_probability:
+        Probability that an individual message is silently dropped.
+    bandwidth_msgs_per_s:
+        If set, messages are additionally serialised at this rate
+        (models a shared low-bandwidth medical device bus).
+    """
+
+    latency_s: float = 0.05
+    jitter_s: float = 0.0
+    loss_probability: float = 0.0
+    bandwidth_msgs_per_s: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be non-negative")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss_probability must be within [0, 1]")
+        if self.bandwidth_msgs_per_s is not None and self.bandwidth_msgs_per_s <= 0:
+            raise ValueError("bandwidth_msgs_per_s must be positive when set")
+
+
+class Channel:
+    """A lossy, delaying message channel.
+
+    Receivers subscribe with :meth:`subscribe`; senders call :meth:`send`.
+    Delivery is simulated by scheduling a kernel event after the sampled
+    latency.  Statistics (sent/delivered/dropped counts, latencies) are kept
+    for the delay-budget analyses in :mod:`repro.core.delays`.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        config: Optional[ChannelConfig] = None,
+        rng=None,
+    ) -> None:
+        config = config or ChannelConfig()
+        config.validate()
+        self.simulator = simulator
+        self.name = name
+        self.config = config
+        self._rng = rng
+        self._subscribers: List[Tuple[Optional[str], Callable[[Message], None]]] = []
+        self._sequence = itertools.count()
+        self._outages: List[Tuple[float, float]] = []
+        self._busy_until = 0.0
+        self.sent: int = 0
+        self.delivered: int = 0
+        self.dropped: int = 0
+        self.latencies: List[float] = []
+        self.delivered_messages: List[Message] = []
+
+    # ----------------------------------------------------------- subscription
+    def subscribe(self, handler: Callable[[Message], None], topic: Optional[str] = None) -> None:
+        """Register ``handler`` for every message (or only ``topic`` if given)."""
+        self._subscribers.append((topic, handler))
+
+    def unsubscribe(self, handler: Callable[[Message], None]) -> None:
+        self._subscribers = [(t, h) for t, h in self._subscribers if h is not handler]
+
+    # ---------------------------------------------------------------- outages
+    def add_outage(self, start: float, end: float) -> None:
+        """Drop every message sent while ``start <= now < end`` (scripted fault)."""
+        if end <= start:
+            raise ValueError("outage end must be after start")
+        self._outages.append((start, end))
+
+    def in_outage(self, time: float) -> bool:
+        return any(start <= time < end for start, end in self._outages)
+
+    # ---------------------------------------------------------------- sending
+    def send(self, sender: str, topic: str, payload: Any) -> Message:
+        """Send a message; returns the (pre-delivery) message record."""
+        now = self.simulator.now
+        message = Message(
+            sender=sender,
+            topic=topic,
+            payload=payload,
+            sent_at=now,
+            sequence=next(self._sequence),
+        )
+        self.sent += 1
+
+        if self.in_outage(now) or self._sample_loss():
+            self.dropped += 1
+            return message
+
+        latency = self._sample_latency()
+        delivery_time = now + latency
+        if self.config.bandwidth_msgs_per_s is not None:
+            service_time = 1.0 / self.config.bandwidth_msgs_per_s
+            start_service = max(delivery_time, self._busy_until)
+            delivery_time = start_service + service_time
+            self._busy_until = delivery_time
+
+        self.simulator.schedule_at(
+            delivery_time,
+            lambda: self._deliver(message),
+            name=f"channel:{self.name}:deliver",
+        )
+        return message
+
+    def _sample_latency(self) -> float:
+        latency = self.config.latency_s
+        if self.config.jitter_s > 0 and self._rng is not None:
+            latency += self._rng.uniform(-self.config.jitter_s, self.config.jitter_s)
+        return max(0.0, latency)
+
+    def _sample_loss(self) -> bool:
+        if self.config.loss_probability <= 0:
+            return False
+        if self._rng is None:
+            return False
+        return bool(self._rng.random() < self.config.loss_probability)
+
+    def _deliver(self, message: Message) -> None:
+        delivered = message.with_delivery(self.simulator.now)
+        self.delivered += 1
+        self.latencies.append(delivered.latency or 0.0)
+        self.delivered_messages.append(delivered)
+        for topic, handler in list(self._subscribers):
+            if topic is None or topic == message.topic:
+                handler(delivered)
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def loss_rate(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return self.dropped / self.sent
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return max(self.latencies)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "sent": float(self.sent),
+            "delivered": float(self.delivered),
+            "dropped": float(self.dropped),
+            "loss_rate": self.loss_rate,
+            "mean_latency": self.mean_latency,
+            "max_latency": self.max_latency,
+        }

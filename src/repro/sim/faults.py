@@ -1,0 +1,192 @@
+"""Fault injection for MCPS experiments.
+
+The paper requires the supervisor to be "tolerant to faults that interfere
+with the control loop, in particular communication failures between the
+devices" (Section II(c)).  :class:`FaultInjector` schedules scripted or
+stochastic faults against channels and devices so the experiments in
+``benchmarks/`` can quantify how the closed-loop system degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.channel import Channel
+from repro.sim.kernel import Simulator
+
+
+FAULT_KINDS = (
+    "channel_outage",       # drop all messages on a channel for a duration
+    "device_crash",         # call the device's crash() hook
+    "device_restart",       # call the device's restart() hook
+    "value_corruption",     # call a corruption hook with a multiplier
+    "stuck_sensor",         # freeze sensor output for a duration
+    "misprogramming",       # reprogram a pump with wrong parameters
+    "pca_by_proxy",         # extra bolus requests not from the patient
+    "custom",               # arbitrary callable
+)
+
+
+@dataclass
+class FaultSpec:
+    """Declarative description of one fault to inject.
+
+    kind:
+        One of :data:`FAULT_KINDS`.
+    start:
+        Simulated time at which the fault begins.
+    duration:
+        For faults with an extent (outages, stuck sensors); 0 for point faults.
+    target:
+        Name of the channel/device the fault applies to.
+    parameters:
+        Kind-specific parameters (e.g. ``{"rate_multiplier": 4.0}`` for
+        misprogramming).
+    """
+
+    kind: str
+    start: float
+    duration: float = 0.0
+    target: str = ""
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.start < 0:
+            raise ValueError("fault start must be non-negative")
+        if self.duration < 0:
+            raise ValueError("fault duration must be non-negative")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class FaultInjector:
+    """Applies :class:`FaultSpec` records to a running simulation.
+
+    Channels are registered by name with :meth:`register_channel`; devices
+    (or any object exposing the hooks named in the fault kinds) with
+    :meth:`register_device`.  Calling :meth:`arm` schedules all faults.
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self._channels: Dict[str, Channel] = {}
+        self._devices: Dict[str, Any] = {}
+        self._specs: List[FaultSpec] = []
+        self._custom_handlers: Dict[str, Callable[[FaultSpec], None]] = {}
+        self.injected: List[FaultSpec] = []
+
+    # ---------------------------------------------------------- registration
+    def register_channel(self, channel: Channel) -> None:
+        self._channels[channel.name] = channel
+
+    def register_device(self, name: str, device: Any) -> None:
+        self._devices[name] = device
+
+    def register_custom(self, name: str, handler: Callable[[FaultSpec], None]) -> None:
+        """Register a handler for ``kind='custom'`` faults targeting ``name``."""
+        self._custom_handlers[name] = handler
+
+    def add(self, spec: FaultSpec) -> None:
+        self._specs.append(spec)
+
+    def extend(self, specs: List[FaultSpec]) -> None:
+        for spec in specs:
+            self.add(spec)
+
+    @property
+    def specs(self) -> List[FaultSpec]:
+        return list(self._specs)
+
+    # --------------------------------------------------------------- arming
+    def arm(self) -> None:
+        """Schedule every added fault on the simulator."""
+        for spec in self._specs:
+            self.simulator.schedule_at(
+                spec.start,
+                lambda s=spec: self._apply(s),
+                name=f"fault:{spec.kind}:{spec.target}",
+            )
+
+    # ------------------------------------------------------------- appliers
+    def _apply(self, spec: FaultSpec) -> None:
+        self.injected.append(spec)
+        if spec.kind == "channel_outage":
+            self._apply_channel_outage(spec)
+        elif spec.kind == "device_crash":
+            self._call_device(spec, "crash")
+        elif spec.kind == "device_restart":
+            self._call_device(spec, "restart")
+        elif spec.kind == "value_corruption":
+            self._call_device(spec, "corrupt", spec.parameters)
+        elif spec.kind == "stuck_sensor":
+            self._apply_stuck_sensor(spec)
+        elif spec.kind == "misprogramming":
+            self._call_device(spec, "reprogram", spec.parameters)
+        elif spec.kind == "pca_by_proxy":
+            self._call_device(spec, "proxy_request", spec.parameters)
+        elif spec.kind == "custom":
+            handler = self._custom_handlers.get(spec.target)
+            if handler is None:
+                raise KeyError(f"no custom fault handler registered for {spec.target!r}")
+            handler(spec)
+
+    def _apply_channel_outage(self, spec: FaultSpec) -> None:
+        channel = self._channels.get(spec.target)
+        if channel is None:
+            raise KeyError(f"fault targets unknown channel {spec.target!r}")
+        channel.add_outage(spec.start, spec.end)
+
+    def _apply_stuck_sensor(self, spec: FaultSpec) -> None:
+        device = self._require_device(spec)
+        freeze = getattr(device, "freeze", None)
+        unfreeze = getattr(device, "unfreeze", None)
+        if freeze is None or unfreeze is None:
+            raise AttributeError(
+                f"device {spec.target!r} does not support stuck_sensor faults "
+                "(missing freeze/unfreeze hooks)"
+            )
+        freeze()
+        if spec.duration > 0:
+            self.simulator.schedule_at(spec.end, unfreeze, name=f"fault:unfreeze:{spec.target}")
+
+    def _call_device(self, spec: FaultSpec, hook: str, parameters: Optional[Dict[str, Any]] = None) -> None:
+        device = self._require_device(spec)
+        method = getattr(device, hook, None)
+        if method is None:
+            raise AttributeError(f"device {spec.target!r} has no {hook}() hook for fault {spec.kind!r}")
+        if parameters:
+            method(**parameters)
+        else:
+            method()
+
+    def _require_device(self, spec: FaultSpec) -> Any:
+        device = self._devices.get(spec.target)
+        if device is None:
+            raise KeyError(f"fault targets unknown device {spec.target!r}")
+        return device
+
+
+def communication_failure_campaign(
+    channel_name: str,
+    first_start: float,
+    outage_duration: float,
+    period: float,
+    count: int,
+) -> List[FaultSpec]:
+    """Build a periodic channel-outage campaign (used by the E2 delay bench)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [
+        FaultSpec(
+            kind="channel_outage",
+            start=first_start + i * period,
+            duration=outage_duration,
+            target=channel_name,
+        )
+        for i in range(count)
+    ]

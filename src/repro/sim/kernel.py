@@ -1,0 +1,292 @@
+"""Core discrete-event simulation kernel.
+
+The kernel is intentionally small and deterministic: events scheduled at the
+same simulated time are executed in FIFO order of their scheduling sequence
+number, so a simulation run is a pure function of its inputs and seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (negative delays, running twice, ...)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, sequence)``.  ``priority`` lets
+    callers force ordering between events scheduled for the same instant
+    (lower runs first); ``sequence`` guarantees FIFO order otherwise.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when its time comes."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with a floating-point clock (seconds).
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second"))
+        sim.run(until=10.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._processes: List["Process"] = []
+        self._event_count = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events executed so far (useful for cost accounting)."""
+        return self._event_count
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule event with delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority=priority, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past (now={self._now}, requested={time})"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            sequence=next(self._sequence),
+            callback=callback,
+            name=name,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        start: Optional[float] = None,
+        name: str = "",
+    ) -> "PeriodicTask":
+        """Run ``callback`` every ``period`` seconds until cancelled."""
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        task = PeriodicTask(self, period, callback, name=name)
+        first = self._now + period if start is None else start
+        task.start(first)
+        return task
+
+    # --------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue empties, ``until`` is reached, or stop().
+
+        Returns the simulated time at which the run finished.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and self._event_count >= max_events:
+                    break
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._event_count += 1
+                event.callback()
+            else:
+                if until is not None and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._event_count += 1
+            event.callback()
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    # ------------------------------------------------------------- processes
+    def register(self, process: "Process") -> None:
+        """Attach a process to this simulator and call its ``start`` hook."""
+        self._processes.append(process)
+        process.bind(self)
+        process.start()
+
+    @property
+    def processes(self) -> List["Process"]:
+        return list(self._processes)
+
+
+class PeriodicTask:
+    """A recurring callback managed by :meth:`Simulator.call_every`."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        name: str = "",
+    ) -> None:
+        self._simulator = simulator
+        self.period = period
+        self._callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+        self._cancelled = False
+        self.run_count = 0
+
+    def start(self, first_time: float) -> None:
+        self._event = self._simulator.schedule_at(first_time, self._tick, name=self.name)
+
+    def _tick(self) -> None:
+        if self._cancelled:
+            return
+        self.run_count += 1
+        self._callback()
+        if not self._cancelled:
+            self._event = self._simulator.schedule(self.period, self._tick, name=self.name)
+
+    def cancel(self) -> None:
+        """Stop future executions; an in-flight callback is not interrupted."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Process:
+    """Base class for simulation actors (devices, patients, supervisors).
+
+    Subclasses override :meth:`start` to schedule their initial activity and
+    may use :meth:`after` / :meth:`every` as convenience wrappers around the
+    simulator's scheduling API.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._simulator: Optional[Simulator] = None
+        self._tasks: List[PeriodicTask] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def bind(self, simulator: Simulator) -> None:
+        self._simulator = simulator
+
+    def start(self) -> None:  # pragma: no cover - default hook does nothing
+        """Hook called when the process is registered with a simulator."""
+
+    # ------------------------------------------------------------ scheduling
+    @property
+    def simulator(self) -> Simulator:
+        if self._simulator is None:
+            raise SimulationError(f"process {self.name!r} is not bound to a simulator")
+        return self._simulator
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def after(self, delay: float, callback: Callable[[], None], **kwargs: Any) -> Event:
+        return self.simulator.schedule(delay, callback, name=f"{self.name}:{callback.__name__}", **kwargs)
+
+    def every(self, period: float, callback: Callable[[], None], **kwargs: Any) -> PeriodicTask:
+        task = self.simulator.call_every(period, callback, name=f"{self.name}:{callback.__name__}", **kwargs)
+        self._tasks.append(task)
+        return task
+
+    def cancel_all(self) -> None:
+        """Cancel every periodic task this process started."""
+        for task in self._tasks:
+            task.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def build_simulator(config: Optional[Dict[str, Any]] = None) -> Simulator:
+    """Convenience factory used by scenario builders.
+
+    ``config`` may carry a ``start_time`` key; everything else is ignored so
+    callers can pass their full scenario configuration dict straight through.
+    """
+    config = config or {}
+    return Simulator(start_time=float(config.get("start_time", 0.0)))

@@ -1,0 +1,154 @@
+"""Time-stamped signal and event traces.
+
+Traces are the raw material for every experiment metric in this repository:
+drug concentration curves, SpO2 series, alarm events, pump commands, and so
+on are all recorded here and post-processed by :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """A single ``(time, value)`` sample of a named signal."""
+
+    time: float
+    signal: str
+    value: Any
+    source: str = ""
+
+
+class TraceRecorder:
+    """Collects samples and discrete events emitted during a simulation run."""
+
+    def __init__(self) -> None:
+        self._signals: Dict[str, List[Tuple[float, Any]]] = {}
+        self._events: List[TracePoint] = []
+
+    # -------------------------------------------------------------- recording
+    def record(self, time: float, signal: str, value: Any, source: str = "") -> None:
+        """Append a sample of ``signal`` at ``time``."""
+        self._signals.setdefault(signal, []).append((float(time), value))
+
+    def event(self, time: float, signal: str, value: Any = None, source: str = "") -> None:
+        """Record a discrete event (alarm raised, pump stopped, ...)."""
+        self._events.append(TracePoint(time=float(time), signal=signal, value=value, source=source))
+
+    # ---------------------------------------------------------------- queries
+    def signals(self) -> List[str]:
+        return sorted(self._signals)
+
+    def samples(self, signal: str) -> List[Tuple[float, Any]]:
+        """All samples of ``signal`` in recording order."""
+        return list(self._signals.get(signal, []))
+
+    def times(self, signal: str) -> np.ndarray:
+        return np.array([t for t, _ in self._signals.get(signal, [])], dtype=float)
+
+    def values(self, signal: str) -> np.ndarray:
+        return np.array([v for _, v in self._signals.get(signal, [])], dtype=float)
+
+    def last(self, signal: str) -> Optional[Tuple[float, Any]]:
+        samples = self._signals.get(signal)
+        return samples[-1] if samples else None
+
+    def value_at(self, signal: str, time: float) -> Optional[Any]:
+        """Most recent sample of ``signal`` at or before ``time``."""
+        best = None
+        for t, v in self._signals.get(signal, []):
+            if t <= time:
+                best = v
+            else:
+                break
+        return best
+
+    def events(self, signal: Optional[str] = None) -> List[TracePoint]:
+        if signal is None:
+            return list(self._events)
+        return [e for e in self._events if e.signal == signal]
+
+    def count_events(self, signal: str) -> int:
+        return sum(1 for e in self._events if e.signal == signal)
+
+    def first_event_time(self, signal: str) -> Optional[float]:
+        for e in self._events:
+            if e.signal == signal:
+                return e.time
+        return None
+
+    # -------------------------------------------------------------- summaries
+    def duration_above(self, signal: str, threshold: float) -> float:
+        """Total simulated time the (step-interpolated) signal exceeds ``threshold``."""
+        return self._duration_where(signal, lambda v: v > threshold)
+
+    def duration_below(self, signal: str, threshold: float) -> float:
+        """Total simulated time the (step-interpolated) signal is below ``threshold``."""
+        return self._duration_where(signal, lambda v: v < threshold)
+
+    def _duration_where(self, signal: str, predicate) -> float:
+        samples = self._signals.get(signal, [])
+        if len(samples) < 2:
+            return 0.0
+        total = 0.0
+        for (t0, v0), (t1, _v1) in zip(samples, samples[1:]):
+            if predicate(v0):
+                total += t1 - t0
+        return total
+
+    def max(self, signal: str) -> float:
+        values = self.values(signal)
+        if values.size == 0:
+            raise KeyError(f"no samples recorded for signal {signal!r}")
+        return float(values.max())
+
+    def min(self, signal: str) -> float:
+        values = self.values(signal)
+        if values.size == 0:
+            raise KeyError(f"no samples recorded for signal {signal!r}")
+        return float(values.min())
+
+    def mean(self, signal: str) -> float:
+        values = self.values(signal)
+        if values.size == 0:
+            raise KeyError(f"no samples recorded for signal {signal!r}")
+        return float(values.mean())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot (used by EXPERIMENTS.md generation and tests)."""
+        return {
+            "signals": {name: list(samples) for name, samples in self._signals.items()},
+            "events": [
+                {"time": e.time, "signal": e.signal, "value": e.value, "source": e.source}
+                for e in self._events
+            ],
+        }
+
+    def merge(self, other: "TraceRecorder") -> None:
+        """Fold another recorder's data into this one (used by scenario composition)."""
+        for name, samples in other._signals.items():
+            self._signals.setdefault(name, []).extend(samples)
+            self._signals[name].sort(key=lambda sample: sample[0])
+        self._events.extend(other._events)
+        self._events.sort(key=lambda e: e.time)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._signals.values()) + len(self._events)
+
+
+def resample(samples: Iterable[Tuple[float, float]], times: np.ndarray) -> np.ndarray:
+    """Step-interpolate ``samples`` onto ``times`` (last value carried forward)."""
+    samples = list(samples)
+    out = np.empty(len(times), dtype=float)
+    if not samples:
+        out.fill(np.nan)
+        return out
+    sample_times = np.array([t for t, _ in samples])
+    sample_values = np.array([v for _, v in samples], dtype=float)
+    idx = np.searchsorted(sample_times, times, side="right") - 1
+    out = np.where(idx >= 0, sample_values[np.clip(idx, 0, None)], np.nan)
+    return out

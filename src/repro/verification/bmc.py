@@ -1,0 +1,93 @@
+"""Bounded model checking (BMC) over explicit transition systems.
+
+BMC searches for a property violation within ``k`` steps of an initial
+state.  It is the counterexample-finding half of the temporal-induction
+approach of Sheeran et al. (reference [21] of the paper); the proving half is
+:mod:`repro.verification.induction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.verification.transition_system import State, TransitionSystem, state_to_dict
+
+
+@dataclass
+class BMCResult:
+    """Result of a bounded model checking run."""
+
+    safe_within_bound: bool
+    bound: int
+    counterexample: Optional[List[State]] = None
+    states_explored: int = 0
+    work_units: int = 0
+
+    @property
+    def counterexample_length(self) -> Optional[int]:
+        return None if self.counterexample is None else len(self.counterexample) - 1
+
+
+def bounded_model_check(
+    system: TransitionSystem,
+    invariant: Callable[[Dict[str, object]], bool],
+    bound: int,
+) -> BMCResult:
+    """Check whether the invariant can be violated within ``bound`` steps.
+
+    Performs an iterative-deepening forward search that visits each state at
+    the smallest depth at which it is reachable, which is sufficient for
+    finding a shortest counterexample.
+    """
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+
+    work = 0
+    # depth-indexed frontier search with global visited-at-depth pruning
+    visited_depth: Dict[State, int] = {}
+    frontier: List[Tuple[State, Optional[State]]] = []
+    parents: Dict[State, Optional[State]] = {}
+
+    for state in system.initial_states:
+        visited_depth[state] = 0
+        parents[state] = None
+        if not invariant(state_to_dict(state)):
+            return BMCResult(False, bound, [state], states_explored=1, work_units=work)
+        frontier.append((state, None))
+
+    current = [state for state, _ in frontier]
+    for depth in range(1, bound + 1):
+        next_frontier: List[State] = []
+        for state in current:
+            for successor in system.successor_states(state):
+                work += 1
+                known_depth = visited_depth.get(successor)
+                if known_depth is not None and known_depth <= depth:
+                    continue
+                visited_depth[successor] = depth
+                parents[successor] = state
+                if not invariant(state_to_dict(successor)):
+                    return BMCResult(
+                        False,
+                        bound,
+                        _path(parents, successor),
+                        states_explored=len(visited_depth),
+                        work_units=work,
+                    )
+                next_frontier.append(successor)
+        if not next_frontier:
+            break
+        current = next_frontier
+
+    return BMCResult(True, bound, None, states_explored=len(visited_depth), work_units=work)
+
+
+def _path(parents: Dict[State, Optional[State]], last: State) -> List[State]:
+    path = [last]
+    current = last
+    while parents.get(current) is not None:
+        current = parents[current]
+        path.append(current)
+    path.reverse()
+    return path

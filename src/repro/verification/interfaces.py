@@ -1,0 +1,187 @@
+"""Timed interface compatibility checks between devices.
+
+Section III(f) of the paper asks for "precisely specifying the interface
+between static and dynamic safety checks": scenario analysis generates
+requirements on device interfaces, and deployment must check that the
+concrete devices satisfy them.  A :class:`TimedInterface` describes, per
+topic, how often a device publishes (or how fresh it needs its inputs) and,
+per command, how quickly it reacts.  Compatibility checking verifies that
+every consumer's freshness and latency needs are met by the matched
+producer, including the network delay budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TopicProduction:
+    """A topic a device publishes with a guaranteed maximum period."""
+
+    topic: str
+    max_period_s: float
+
+    def __post_init__(self) -> None:
+        if self.max_period_s <= 0:
+            raise ValueError("max_period_s must be positive")
+
+
+@dataclass(frozen=True)
+class TopicConsumption:
+    """A topic a device (or app) consumes with a freshness requirement."""
+
+    topic: str
+    max_age_s: float
+
+    def __post_init__(self) -> None:
+        if self.max_age_s <= 0:
+            raise ValueError("max_age_s must be positive")
+
+
+@dataclass(frozen=True)
+class CommandReaction:
+    """A command a device accepts with a bounded reaction time."""
+
+    command: str
+    max_reaction_s: float
+
+    def __post_init__(self) -> None:
+        if self.max_reaction_s <= 0:
+            raise ValueError("max_reaction_s must be positive")
+
+
+@dataclass(frozen=True)
+class CommandRequirement:
+    """A command a controller needs, with the deadline it must meet."""
+
+    command: str
+    deadline_s: float
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+
+@dataclass
+class TimedInterface:
+    """The timed interface of one device or supervisor app."""
+
+    name: str
+    produces: List[TopicProduction] = field(default_factory=list)
+    consumes: List[TopicConsumption] = field(default_factory=list)
+    reacts_to: List[CommandReaction] = field(default_factory=list)
+    requires_commands: List[CommandRequirement] = field(default_factory=list)
+
+    def production(self, topic: str) -> Optional[TopicProduction]:
+        for production in self.produces:
+            if production.topic == topic:
+                return production
+        return None
+
+    def reaction(self, command: str) -> Optional[CommandReaction]:
+        for reaction in self.reacts_to:
+            if reaction.command == command:
+                return reaction
+        return None
+
+
+@dataclass(frozen=True)
+class InterfaceIncompatibility:
+    """One detected incompatibility between interfaces."""
+
+    consumer: str
+    producer: Optional[str]
+    subject: str
+    kind: str
+    detail: str
+
+
+def check_interface_compatibility(
+    interfaces: List[TimedInterface],
+    *,
+    network_latency_s: float = 0.0,
+) -> List[InterfaceIncompatibility]:
+    """Check all consumption / command requirements against the producers.
+
+    Returns an empty list when the composition is compatible.  Three kinds
+    of incompatibility are reported:
+
+    * ``missing_producer`` -- nobody publishes a consumed topic;
+    * ``freshness`` -- the producer's worst-case period plus network latency
+      exceeds the consumer's freshness requirement;
+    * ``missing_command`` / ``deadline`` -- a required command is not
+      accepted by any device, or its reaction plus latency misses the
+      deadline.
+    """
+    if network_latency_s < 0:
+        raise ValueError("network_latency_s must be non-negative")
+    problems: List[InterfaceIncompatibility] = []
+
+    producers: Dict[str, List[Tuple[str, TopicProduction]]] = {}
+    reactors: Dict[str, List[Tuple[str, CommandReaction]]] = {}
+    for interface in interfaces:
+        for production in interface.produces:
+            producers.setdefault(production.topic, []).append((interface.name, production))
+        for reaction in interface.reacts_to:
+            reactors.setdefault(reaction.command, []).append((interface.name, reaction))
+
+    for interface in interfaces:
+        for consumption in interface.consumes:
+            candidates = producers.get(consumption.topic, [])
+            if not candidates:
+                problems.append(
+                    InterfaceIncompatibility(
+                        consumer=interface.name,
+                        producer=None,
+                        subject=consumption.topic,
+                        kind="missing_producer",
+                        detail=f"no device publishes topic {consumption.topic!r}",
+                    )
+                )
+                continue
+            best_name, best = min(candidates, key=lambda pair: pair[1].max_period_s)
+            worst_age = best.max_period_s + network_latency_s
+            if worst_age > consumption.max_age_s:
+                problems.append(
+                    InterfaceIncompatibility(
+                        consumer=interface.name,
+                        producer=best_name,
+                        subject=consumption.topic,
+                        kind="freshness",
+                        detail=(
+                            f"worst-case data age {worst_age:.3f}s exceeds required "
+                            f"{consumption.max_age_s:.3f}s"
+                        ),
+                    )
+                )
+        for requirement in interface.requires_commands:
+            candidates = reactors.get(requirement.command, [])
+            if not candidates:
+                problems.append(
+                    InterfaceIncompatibility(
+                        consumer=interface.name,
+                        producer=None,
+                        subject=requirement.command,
+                        kind="missing_command",
+                        detail=f"no device accepts command {requirement.command!r}",
+                    )
+                )
+                continue
+            best_name, best = min(candidates, key=lambda pair: pair[1].max_reaction_s)
+            worst_reaction = best.max_reaction_s + network_latency_s
+            if worst_reaction > requirement.deadline_s:
+                problems.append(
+                    InterfaceIncompatibility(
+                        consumer=interface.name,
+                        producer=best_name,
+                        subject=requirement.command,
+                        kind="deadline",
+                        detail=(
+                            f"worst-case reaction {worst_reaction:.3f}s exceeds deadline "
+                            f"{requirement.deadline_s:.3f}s"
+                        ),
+                    )
+                )
+    return problems

@@ -1,0 +1,206 @@
+"""Static analysis of clinical scenario specifications.
+
+"Analysis of such precise descriptions of a scenario will allow to make sure
+that instructions for caregivers are unambiguous and cover all possible
+situations; ensure that devices can interact with each other as desired;
+explore the effects of faults and user errors." (Section III(e))
+
+The analyses implemented here are the ones experiment E9 measures on a corpus
+of scenarios with seeded defects:
+
+* dangling transitions (a step references a non-existent step);
+* unreachable steps;
+* missing initial step / multiple initial steps;
+* outcomes without handlers (given a declared outcome alphabet);
+* caregiver roles with no procedure steps, and steps assigned to undeclared
+  roles;
+* data flows whose source role is not declared to publish the topic;
+* decision rules targeting roles that accept no commands;
+* device requirements unsatisfiable against a registry (when one is given).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.middleware.registry import DeviceRegistry
+from repro.workflow.compiler import device_requirements
+from repro.workflow.spec import ClinicalScenario
+
+
+@dataclass(frozen=True)
+class AnalysisFinding:
+    """One problem found in a scenario specification."""
+
+    severity: str  # "error" or "warning"
+    category: str
+    subject: str
+    message: str
+
+
+def analyse_scenario(
+    scenario: ClinicalScenario,
+    *,
+    outcome_alphabet: Optional[Dict[str, Sequence[str]]] = None,
+    registry: Optional[DeviceRegistry] = None,
+) -> List[AnalysisFinding]:
+    """Run all static checks; returns the list of findings (empty = clean)."""
+    findings: List[AnalysisFinding] = []
+    findings.extend(_check_procedure_structure(scenario))
+    findings.extend(_check_outcome_coverage(scenario, outcome_alphabet or {}))
+    findings.extend(_check_roles(scenario))
+    findings.extend(_check_data_flows(scenario))
+    findings.extend(_check_decision_rules(scenario))
+    if registry is not None:
+        findings.extend(_check_deployability(scenario, registry))
+    return findings
+
+
+def errors(findings: List[AnalysisFinding]) -> List[AnalysisFinding]:
+    return [finding for finding in findings if finding.severity == "error"]
+
+
+# --------------------------------------------------------------------------- procedure
+def _check_procedure_structure(scenario: ClinicalScenario) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    step_ids = {step.step_id for step in scenario.procedure}
+
+    initial = scenario.initial_steps()
+    if scenario.procedure and not initial:
+        findings.append(
+            AnalysisFinding("error", "no_initial_step", scenario.name,
+                            "procedure has steps but no initial step")
+        )
+    if len(initial) > 1:
+        findings.append(
+            AnalysisFinding("error", "multiple_initial_steps", scenario.name,
+                            f"procedure has {len(initial)} initial steps; the start is ambiguous")
+        )
+
+    for step in scenario.procedure:
+        for outcome, target in step.next_steps.items():
+            if target not in step_ids:
+                findings.append(
+                    AnalysisFinding(
+                        "error", "dangling_transition", step.step_id,
+                        f"outcome {outcome!r} points to unknown step {target!r}"
+                    )
+                )
+
+    # Reachability from the initial step(s).
+    reachable = set()
+    frontier = [step.step_id for step in initial]
+    while frontier:
+        current = frontier.pop()
+        if current in reachable or current not in step_ids:
+            continue
+        reachable.add(current)
+        frontier.extend(scenario.step(current).next_steps.values())
+    for step in scenario.procedure:
+        if step.step_id not in reachable and not step.is_initial:
+            findings.append(
+                AnalysisFinding("warning", "unreachable_step", step.step_id,
+                                "step cannot be reached from the initial step")
+            )
+    return findings
+
+
+def _check_outcome_coverage(
+    scenario: ClinicalScenario, outcome_alphabet: Dict[str, Sequence[str]]
+) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    for step in scenario.procedure:
+        declared = outcome_alphabet.get(step.step_id)
+        if declared is None or not step.next_steps:
+            continue
+        for outcome in declared:
+            if outcome not in step.next_steps:
+                findings.append(
+                    AnalysisFinding(
+                        "error", "unhandled_outcome", step.step_id,
+                        f"possible outcome {outcome!r} has no transition; "
+                        "caregiver instructions do not cover this situation"
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------- roles
+def _check_roles(scenario: ClinicalScenario) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    declared_roles = {role.role for role in scenario.caregiver_roles}
+    used_roles = {step.role for step in scenario.procedure}
+    for role in declared_roles - used_roles:
+        findings.append(
+            AnalysisFinding("warning", "idle_caregiver_role", role,
+                            "caregiver role has no procedure steps")
+        )
+    for role in used_roles - declared_roles:
+        findings.append(
+            AnalysisFinding("error", "undeclared_caregiver_role", role,
+                            "procedure steps are assigned to an undeclared caregiver role")
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------- flows
+def _check_data_flows(scenario: ClinicalScenario) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    device_roles = {role.role: role for role in scenario.device_roles}
+    for flow in scenario.data_flows:
+        source = device_roles.get(flow.source_role)
+        if source is None:
+            findings.append(
+                AnalysisFinding("error", "unknown_flow_source", flow.topic,
+                                f"data flow source role {flow.source_role!r} is not a declared device role")
+            )
+        elif flow.topic not in source.required_topics:
+            findings.append(
+                AnalysisFinding(
+                    "error", "flow_topic_not_published", flow.topic,
+                    f"role {flow.source_role!r} is not required to publish topic {flow.topic!r}"
+                )
+            )
+        if flow.destination_role not in device_roles and flow.destination_role != "supervisor":
+            findings.append(
+                AnalysisFinding("warning", "unknown_flow_destination", flow.topic,
+                                f"data flow destination {flow.destination_role!r} is not a declared role")
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------- rules
+def _check_decision_rules(scenario: ClinicalScenario) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    device_roles = {role.role: role for role in scenario.device_roles}
+    for rule in scenario.decision_rules:
+        target = device_roles.get(rule.target_role)
+        if target is None:
+            findings.append(
+                AnalysisFinding("error", "unknown_rule_target", rule.name,
+                                f"decision rule targets undeclared device role {rule.target_role!r}")
+            )
+        elif rule.command not in target.required_commands:
+            findings.append(
+                AnalysisFinding(
+                    "error", "rule_command_not_required", rule.name,
+                    f"rule sends command {rule.command!r} but role {rule.target_role!r} "
+                    "is not required to accept it"
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------- deploy
+def _check_deployability(scenario: ClinicalScenario, registry: DeviceRegistry) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    match = registry.match(device_requirements(scenario))
+    for role, reasons in match.unsatisfied.items():
+        findings.append(
+            AnalysisFinding(
+                "error", "unsatisfiable_device_requirement", role,
+                "no registered device satisfies the requirement: " + " | ".join(reasons[:3])
+            )
+        )
+    return findings

@@ -1,0 +1,149 @@
+"""Operational semantics of clinical scenario procedures.
+
+The interpreter executes the caregiver procedure graph step by step: each
+step is performed (taking its expected duration), an outcome is chosen (by a
+scripted environment or a stochastic model), and control moves to the step
+that handles the outcome.  Unhandled outcomes and steps that never terminate
+are surfaced as execution errors -- the dynamic counterpart of the static
+checks in :mod:`repro.workflow.analysis`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.workflow.spec import ClinicalScenario, ProcedureStep
+
+
+class StepStatus(enum.Enum):
+    COMPLETED = "completed"
+    UNHANDLED_OUTCOME = "unhandled_outcome"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class ExecutedStep:
+    """Record of one executed procedure step."""
+
+    step_id: str
+    role: str
+    started_at: float
+    finished_at: float
+    outcome: str
+    status: StepStatus
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of interpreting one procedure run."""
+
+    completed: bool
+    steps: List[ExecutedStep] = field(default_factory=list)
+    total_duration_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def visited_step_ids(self) -> List[str]:
+        return [step.step_id for step in self.steps]
+
+
+class ScenarioInterpreter:
+    """Executes a scenario's caregiver procedure against an outcome oracle."""
+
+    def __init__(
+        self,
+        scenario: ClinicalScenario,
+        *,
+        outcome_oracle: Optional[Callable[[ProcedureStep], str]] = None,
+        max_steps: int = 200,
+    ) -> None:
+        if max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+        self.scenario = scenario
+        self.outcome_oracle = outcome_oracle or (lambda step: "ok")
+        self.max_steps = max_steps
+
+    def run(self, *, start_step_id: Optional[str] = None) -> ExecutionResult:
+        """Interpret the procedure from its initial step (or ``start_step_id``)."""
+        result = ExecutionResult(completed=False)
+        if start_step_id is not None:
+            current: Optional[ProcedureStep] = self.scenario.step(start_step_id)
+        else:
+            initial = self.scenario.initial_steps()
+            if not initial:
+                result.error = "scenario has no initial procedure step"
+                return result
+            if len(initial) > 1:
+                result.error = "scenario has multiple initial steps; start is ambiguous"
+                return result
+            current = initial[0]
+
+        time = 0.0
+        for _ in range(self.max_steps):
+            if current is None:
+                break
+            started = time
+            time += current.expected_duration_s
+            outcome = self.outcome_oracle(current)
+
+            if not current.next_steps:
+                # Terminal step: any outcome completes the procedure.
+                result.steps.append(
+                    ExecutedStep(current.step_id, current.role, started, time, outcome, StepStatus.COMPLETED)
+                )
+                result.completed = True
+                result.total_duration_s = time
+                return result
+
+            next_id = current.next_steps.get(outcome)
+            if next_id is None:
+                result.steps.append(
+                    ExecutedStep(
+                        current.step_id, current.role, started, time, outcome, StepStatus.UNHANDLED_OUTCOME
+                    )
+                )
+                result.error = (
+                    f"step {current.step_id!r} has no transition for outcome {outcome!r}; "
+                    "the caregiver instructions do not cover this situation"
+                )
+                result.total_duration_s = time
+                return result
+
+            result.steps.append(
+                ExecutedStep(current.step_id, current.role, started, time, outcome, StepStatus.COMPLETED)
+            )
+            current = self.scenario.step(next_id)
+
+        result.error = f"procedure did not terminate within {self.max_steps} steps"
+        result.total_duration_s = time
+        return result
+
+    # ---------------------------------------------------------- explorations
+    def explore_all_outcomes(self, outcomes_per_step: Dict[str, List[str]]) -> List[ExecutionResult]:
+        """Exhaustively explore every combination of listed outcomes.
+
+        ``outcomes_per_step`` maps step ids to the outcome labels the
+        environment may produce at that step; the exploration enumerates all
+        paths (bounded by ``max_steps``) and returns every resulting
+        execution.  Used by the fault-effect analysis.
+        """
+        results: List[ExecutionResult] = []
+
+        def oracle_factory(choices: Dict[str, str]):
+            return lambda step: choices.get(step.step_id, "ok")
+
+        def recurse(choices: Dict[str, str], remaining: List[str]) -> None:
+            if not remaining:
+                interpreter = ScenarioInterpreter(
+                    self.scenario, outcome_oracle=oracle_factory(choices), max_steps=self.max_steps
+                )
+                results.append(interpreter.run())
+                return
+            step_id = remaining[0]
+            for outcome in outcomes_per_step[step_id]:
+                recurse({**choices, step_id: outcome}, remaining[1:])
+
+        recurse({}, sorted(outcomes_per_step))
+        return results

@@ -1,0 +1,46 @@
+"""Shared fixtures for the repro test suite."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.patient.population import DEFAULT_PATIENT, PatientPopulation  # noqa: E402
+from repro.sim.kernel import Simulator  # noqa: E402
+from repro.sim.trace import TraceRecorder  # noqa: E402
+
+
+@pytest.fixture
+def simulator():
+    return Simulator()
+
+
+@pytest.fixture
+def trace():
+    return TraceRecorder()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def default_patient_parameters():
+    return DEFAULT_PATIENT
+
+
+@pytest.fixture
+def population():
+    return PatientPopulation(seed=7)
+
+
+@pytest.fixture
+def sensitive_patient(population):
+    return population.sample_one("sensitive-patient", sensitive=True)

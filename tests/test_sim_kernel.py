@@ -1,0 +1,205 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import Process, SimulationError, Simulator, build_simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self, simulator):
+        assert simulator.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_schedule_runs_callback_at_time(self, simulator):
+        fired = []
+        simulator.schedule(2.5, lambda: fired.append(simulator.now))
+        simulator.run()
+        assert fired == [2.5]
+
+    def test_schedule_at_absolute_time(self, simulator):
+        fired = []
+        simulator.schedule_at(7.0, lambda: fired.append(simulator.now))
+        simulator.run()
+        assert fired == [7.0]
+
+    def test_negative_delay_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_past_rejected(self, simulator):
+        simulator.schedule(5.0, lambda: simulator.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_events_ordered_by_time(self, simulator):
+        order = []
+        simulator.schedule(3.0, lambda: order.append("c"))
+        simulator.schedule(1.0, lambda: order.append("a"))
+        simulator.schedule(2.0, lambda: order.append("b"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self, simulator):
+        order = []
+        for label in "abc":
+            simulator.schedule(1.0, lambda label=label: order.append(label))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_overrides_fifo(self, simulator):
+        order = []
+        simulator.schedule(1.0, lambda: order.append("low"), priority=5)
+        simulator.schedule(1.0, lambda: order.append("high"), priority=-5)
+        simulator.run()
+        assert order == ["high", "low"]
+
+    def test_cancelled_event_does_not_fire(self, simulator):
+        fired = []
+        event = simulator.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        simulator.run()
+        assert fired == []
+
+    def test_run_until_stops_clock_at_bound(self, simulator):
+        simulator.schedule(10.0, lambda: None)
+        end = simulator.run(until=4.0)
+        assert end == 4.0
+        assert simulator.pending() == 1
+
+    def test_run_until_executes_events_before_bound(self, simulator):
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(9.0, lambda: fired.append(2))
+        simulator.run(until=5.0)
+        assert fired == [1]
+
+    def test_event_count_increments(self, simulator):
+        for _ in range(4):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert simulator.event_count == 4
+
+    def test_max_events_bound(self, simulator):
+        for _ in range(10):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run(max_events=3)
+        assert simulator.event_count == 3
+
+    def test_stop_terminates_run(self, simulator):
+        fired = []
+
+        def first():
+            fired.append(1)
+            simulator.stop()
+
+        simulator.schedule(1.0, first)
+        simulator.schedule(2.0, lambda: fired.append(2))
+        simulator.run()
+        assert fired == [1]
+        assert simulator.pending() == 1
+
+    def test_step_executes_single_event(self, simulator):
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append("a"))
+        simulator.schedule(2.0, lambda: fired.append("b"))
+        assert simulator.step() is True
+        assert fired == ["a"]
+        assert simulator.step() is True
+        assert simulator.step() is False
+
+    def test_peek_returns_next_event_time(self, simulator):
+        simulator.schedule(4.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        assert simulator.peek() == 2.0
+
+    def test_peek_empty_queue(self, simulator):
+        assert simulator.peek() is None
+
+
+class TestPeriodicTasks:
+    def test_call_every_repeats(self, simulator):
+        ticks = []
+        simulator.call_every(1.0, lambda: ticks.append(simulator.now))
+        simulator.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_call_every_custom_start(self, simulator):
+        ticks = []
+        simulator.call_every(2.0, lambda: ticks.append(simulator.now), start=0.5)
+        simulator.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_cancel_stops_repetition(self, simulator):
+        ticks = []
+        task = simulator.call_every(1.0, lambda: ticks.append(simulator.now))
+        simulator.schedule(2.5, task.cancel)
+        simulator.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert task.cancelled
+
+    def test_run_count(self, simulator):
+        task = simulator.call_every(1.0, lambda: None)
+        simulator.run(until=3.5)
+        assert task.run_count == 3
+
+    def test_zero_period_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.call_every(0.0, lambda: None)
+
+
+class _CountingProcess(Process):
+    def __init__(self):
+        super().__init__("counter")
+        self.count = 0
+        self.started = False
+
+    def start(self):
+        self.started = True
+        self.every(1.0, self._tick)
+
+    def _tick(self):
+        self.count += 1
+
+
+class TestProcess:
+    def test_register_binds_and_starts(self, simulator):
+        process = _CountingProcess()
+        simulator.register(process)
+        assert process.started
+        assert process.simulator is simulator
+
+    def test_process_periodic_activity(self, simulator):
+        process = _CountingProcess()
+        simulator.register(process)
+        simulator.run(until=4.5)
+        assert process.count == 4
+
+    def test_unbound_process_raises(self):
+        process = _CountingProcess()
+        with pytest.raises(SimulationError):
+            _ = process.simulator
+
+    def test_cancel_all_stops_tasks(self, simulator):
+        process = _CountingProcess()
+        simulator.register(process)
+        simulator.schedule(2.5, process.cancel_all)
+        simulator.run(until=10.0)
+        assert process.count == 2
+
+    def test_processes_listed(self, simulator):
+        process = _CountingProcess()
+        simulator.register(process)
+        assert process in simulator.processes
+
+
+class TestFactory:
+    def test_build_simulator_default(self):
+        assert build_simulator().now == 0.0
+
+    def test_build_simulator_with_start_time(self):
+        assert build_simulator({"start_time": 3.0}).now == 3.0
+
+    def test_build_simulator_ignores_unknown_keys(self):
+        assert build_simulator({"whatever": 1}).now == 0.0
