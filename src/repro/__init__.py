@@ -39,6 +39,9 @@ Subpackages
     GSN-style assurance cases and incremental re-certification.
 ``repro.scenarios``
     End-to-end clinical scenarios used by the experiments.
+``repro.campaign``
+    Population-scale Monte Carlo campaigns: scenario registry, parallel
+    execution engine, streamed results with resume, and aggregation.
 ``repro.analysis``
     Metrics, statistics, and report-table formatting.
 """

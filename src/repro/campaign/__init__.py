@@ -1,0 +1,69 @@
+"""Population-scale simulation campaigns.
+
+The seed experiments run scenarios one patient at a time; this package is
+the scaling backbone that turns them into ward- and hospital-scale Monte
+Carlo campaigns:
+
+* :mod:`~repro.campaign.registry` -- scenario registry: every bundled
+  scenario registers a declarative :class:`~repro.campaign.registry.ScenarioSpec`
+  (name, parameter defaults, result schema, module-level runner).
+* :mod:`~repro.campaign.spec` -- :class:`~repro.campaign.spec.CampaignSpec`
+  parameter-sweep / cohort expansion into stable, individually seeded
+  :class:`~repro.campaign.spec.RunManifest` entries.
+* :mod:`~repro.campaign.engine` -- parallel execution via
+  ``multiprocessing`` with a deterministic serial fallback; serial and
+  parallel campaigns produce byte-identical finalized results.
+* :mod:`~repro.campaign.store` -- streaming JSONL result store with
+  checkpoint/resume of partially completed campaigns.
+* :mod:`~repro.campaign.aggregate` -- grouped aggregation feeding
+  :mod:`repro.analysis` (summary tables, safety outcomes) over thousands
+  of stored runs.
+* :mod:`~repro.campaign.cli` -- ``python -m repro.campaign run <spec>``.
+"""
+
+from repro.campaign.aggregate import (
+    campaign_table,
+    group_records,
+    safety_outcomes,
+    safety_table,
+    summarise_metric,
+)
+from repro.campaign.engine import CampaignEngine, CampaignReport, run_campaign
+from repro.campaign.registry import (
+    CampaignError,
+    ScenarioSpec,
+    campaign_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    RunManifest,
+    cohort_patient,
+    patient_from_params,
+)
+from repro.campaign.store import ResultStore, load_results
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignError",
+    "CampaignReport",
+    "CampaignSpec",
+    "ResultStore",
+    "RunManifest",
+    "ScenarioSpec",
+    "campaign_scenario",
+    "campaign_table",
+    "cohort_patient",
+    "get_scenario",
+    "group_records",
+    "list_scenarios",
+    "load_results",
+    "patient_from_params",
+    "register_scenario",
+    "run_campaign",
+    "safety_outcomes",
+    "safety_table",
+    "summarise_metric",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.campaign`` — campaign runner CLI."""
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Aggregation of campaign records into the paper's analysis machinery.
+
+Campaign records are flat dicts (``params`` + ``result``); this module
+groups them along swept parameters and pushes the grouped metrics through
+:mod:`repro.analysis.stats` / :mod:`repro.analysis.metrics` /
+:mod:`repro.analysis.tables`, so the tables the benchmarks print over
+dozens of in-process runs can be reproduced over thousands of stored ones.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import SafetyOutcome, aggregate_outcomes
+from repro.analysis.stats import Summary, summarise
+from repro.analysis.tables import Table
+from repro.campaign.registry import CampaignError
+
+GroupKey = Tuple[Any, ...]
+
+
+def _lookup(record: Mapping[str, Any], key: str) -> Any:
+    """A grouping key may live in the params, the result, or the record itself."""
+    if key in record.get("params", {}):
+        return record["params"][key]
+    if key in record.get("result", {}):
+        return record["result"][key]
+    if key in record:
+        return record[key]
+    raise CampaignError(f"record {record.get('run_id')!r} has no field {key!r}")
+
+
+def group_records(
+    records: Iterable[Mapping[str, Any]],
+    by: Sequence[str],
+) -> Dict[GroupKey, List[Mapping[str, Any]]]:
+    """Group records by the values of the ``by`` fields (insertion-ordered)."""
+    groups: Dict[GroupKey, List[Mapping[str, Any]]] = {}
+    for record in records:
+        key = tuple(_lookup(record, field) for field in by)
+        groups.setdefault(key, []).append(record)
+    return groups
+
+
+def metric_values(records: Iterable[Mapping[str, Any]], metric: str) -> List[float]:
+    """The numeric values of one result metric across records (None skipped)."""
+    values = []
+    for record in records:
+        value = record["result"].get(metric)
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            value = 1.0 if value else 0.0
+        if not isinstance(value, (int, float)):
+            raise CampaignError(f"result field {metric!r} is not numeric: {value!r}")
+        values.append(float(value))
+    return values
+
+
+def summarise_metric(
+    records: Iterable[Mapping[str, Any]], metric: str
+) -> Summary:
+    """Five-number summary of one result metric across records."""
+    return summarise(metric_values(records, metric))
+
+
+def campaign_table(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+    title: str = "campaign summary",
+    statistic: str = "mean",
+    notes: Optional[str] = None,
+) -> Table:
+    """Summary table: one row per group, one column per metric statistic."""
+    if statistic not in ("mean", "median", "min", "max", "std"):
+        raise CampaignError(f"unknown statistic {statistic!r}")
+    columns = list(group_by) + ["runs"] + [f"{statistic}_{metric}" for metric in metrics]
+    table = Table(title, columns, notes=notes)
+    for key, group in group_records(records, group_by).items():
+        row: List[Any] = list(key) + [len(group)]
+        for metric in metrics:
+            values = metric_values(group, metric)
+            if not values:
+                row.append(float("nan"))
+                continue
+            summary = summarise(values)
+            row.append(
+                {
+                    "mean": summary.mean,
+                    "median": summary.median,
+                    "min": summary.minimum,
+                    "max": summary.maximum,
+                    "std": summary.std,
+                }[statistic]
+            )
+        table.add_row(*row)
+    return table
+
+
+def safety_outcomes(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    group_by: Sequence[str] = ("mode",),
+) -> Dict[GroupKey, SafetyOutcome]:
+    """PCA-style safety outcomes per group, via :func:`aggregate_outcomes`.
+
+    Works for any scenario whose result records carry the PCA safety
+    fields (``harmed``, ``respiratory_failure_events``, ...).
+    """
+    outcomes: Dict[GroupKey, SafetyOutcome] = {}
+    for key, group in group_records(records, group_by).items():
+        outcomes[key] = aggregate_outcomes(
+            SimpleNamespace(**record["result"]) for record in group
+        )
+    return outcomes
+
+
+def safety_table(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    group_by: Sequence[str] = ("mode",),
+    title: str = "campaign safety outcomes",
+    notes: Optional[str] = None,
+) -> Table:
+    """The E1-style safety table, computed from stored campaign records."""
+    table = Table(
+        title,
+        list(group_by)
+        + ["patients", "harmed", "harm_rate", "failure_events",
+           "mean_time_spo2<90 (s)", "mean_drug (mg)", "mean_pain"],
+        notes=notes,
+    )
+    for key, outcome in safety_outcomes(records, group_by=group_by).items():
+        table.add_row(
+            *key,
+            outcome.patients,
+            outcome.harmed,
+            outcome.harm_rate,
+            outcome.respiratory_failure_events,
+            outcome.mean_time_in_danger_s,
+            outcome.mean_drug_mg,
+            outcome.mean_pain,
+        )
+    return table

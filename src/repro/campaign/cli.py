@@ -1,0 +1,174 @@
+"""Command-line entry point: ``python -m repro.campaign <command>``.
+
+Commands
+--------
+``list``
+    Show the registered scenarios and their campaign parameters.
+``run SPEC.json``
+    Execute a campaign spec, optionally in parallel and/or persisted to a
+    campaign directory (which then supports ``--resume`` and ``report``).
+``report DIR``
+    Aggregate a stored campaign into a summary table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.campaign.aggregate import campaign_table
+from repro.campaign.engine import run_campaign
+from repro.campaign.registry import CampaignError, get_scenario, list_scenarios
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore, load_results
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Population-scale simulation campaigns over the repro scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="show registered campaign scenarios")
+
+    run = commands.add_parser("run", help="execute a campaign spec (JSON file)")
+    run.add_argument("spec", help="path to a campaign spec JSON file")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes (1 = deterministic serial reference)")
+    run.add_argument("--out", default=None,
+                     help="campaign directory for streamed results and resume")
+    run.add_argument("--resume", action="store_true",
+                     help="skip runs already completed in --out")
+    run.add_argument("--group-by", default=None,
+                     help="comma-separated fields for the post-run summary table")
+    run.add_argument("--metrics", default=None,
+                     help="comma-separated result metrics for the summary table")
+    run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    report = commands.add_parser("report", help="summarise a stored campaign")
+    report.add_argument("directory", help="campaign directory written by 'run --out'")
+    report.add_argument("--group-by", default=None,
+                        help="comma-separated grouping fields (default: swept params)")
+    report.add_argument("--metrics", default=None,
+                        help="comma-separated result metrics (default: scenario schema)")
+    report.add_argument("--statistic", default="mean",
+                        choices=("mean", "median", "min", "max", "std"))
+    return parser
+
+
+def _csv(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    fields = [item.strip() for item in value.split(",") if item.strip()]
+    return fields or None
+
+
+def _default_metrics(records: Sequence[Dict[str, Any]], limit: int = 6) -> List[str]:
+    """Numeric fields of the scenario's declared result schema (or any found)."""
+    if not records:
+        return []
+
+    def numeric(key: str) -> bool:
+        # A field may legitimately be None for some runs (e.g. a latency when
+        # nothing was detected), so look for the first run that has a value.
+        return any(
+            isinstance(record["result"].get(key), (bool, int, float))
+            for record in records
+        )
+
+    try:
+        schema = get_scenario(records[0]["scenario"]).result_fields
+    except CampaignError:
+        schema = ()
+    metrics = [key for key in schema if numeric(key)]
+    if not metrics:
+        metrics = [key for key in records[0]["result"] if numeric(key)]
+    return metrics[:limit]
+
+
+def _print_table(records, group_by, metrics, statistic="mean", title="campaign summary"):
+    if not records:
+        print("no records")
+        return
+    if not group_by:
+        group_by = ["scenario"]
+    table = campaign_table(
+        records, group_by=group_by, metrics=metrics, statistic=statistic, title=title
+    )
+    print(table.render())
+
+
+def _cmd_list() -> int:
+    for scenario in list_scenarios():
+        cohort = " [cohort]" if scenario.supports_cohort else ""
+        print(f"{scenario.name}{cohort}: {scenario.description}")
+        defaults = ", ".join(f"{k}={v!r}" for k, v in sorted(scenario.defaults.items()))
+        print(f"  parameters: {defaults}")
+        print(f"  result fields: {', '.join(scenario.result_fields)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.from_file(args.spec)
+    total = spec.grid_size()
+    if not args.quiet:
+        print(f"campaign {spec.name!r}: {total} runs of scenario {spec.scenario!r} "
+              f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+
+    def progress(done: int, total_runs: int, record: Dict[str, Any]) -> None:
+        if not args.quiet:
+            print(f"  [{done}/{total_runs}] {record['run_id']}")
+
+    report = run_campaign(
+        spec,
+        workers=args.workers,
+        directory=args.out,
+        resume=args.resume,
+        progress=progress,
+    )
+    if not args.quiet:
+        where = f" -> {report.directory}" if report.directory else ""
+        print(f"completed {report.total} runs "
+              f"({report.executed} executed, {report.skipped} resumed){where}")
+
+    group_by = _csv(args.group_by) or spec.sweep_axes()
+    metrics = _csv(args.metrics) or _default_metrics(report.records)
+    if metrics:
+        _print_table(report.records, group_by, metrics,
+                     title=f"campaign {spec.name!r} summary")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    records = load_results(args.directory)
+    if not records:
+        print(f"no results in {args.directory}", file=sys.stderr)
+        return 1
+    manifest = ResultStore(args.directory).load_manifest()
+    spec = CampaignSpec.from_dict(manifest["spec"]) if manifest else None
+    group_by = _csv(args.group_by) or (spec.sweep_axes() if spec else [])
+    metrics = _csv(args.metrics) or _default_metrics(records)
+    title = f"campaign {spec.name!r} report" if spec else "campaign report"
+    _print_table(records, group_by, metrics, statistic=args.statistic, title=title)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,210 @@
+"""Campaign execution engine: manifest expansion, workers, checkpointing.
+
+The engine expands a :class:`~repro.campaign.spec.CampaignSpec` into run
+manifests and executes them either serially (the deterministic reference
+path) or on a ``multiprocessing`` pool.  Because every run is seeded from
+its stable run id (not from execution order), the two paths produce
+identical records; after :meth:`ResultStore.finalize` the on-disk results
+are byte-identical as well.
+
+Workers receive only ``(run_index, run_id, scenario_name, params, seed)``
+tuples and look the runner up in the scenario registry on their side, so
+nothing unpicklable crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.campaign.registry import CampaignError, get_scenario
+from repro.campaign.spec import CampaignSpec, RunManifest
+from repro.campaign.store import ResultStore
+
+ProgressCallback = Callable[[int, int, Dict[str, Any]], None]
+
+
+def execute_manifest(manifest: RunManifest) -> Dict[str, Any]:
+    """Execute one run and wrap its result in the campaign record schema."""
+    scenario = get_scenario(manifest.scenario)
+    try:
+        result = scenario.runner(dict(manifest.params), manifest.seed)
+    except CampaignError:
+        raise
+    except Exception as error:
+        # Name-level validation happens at expansion; bad *values* only
+        # surface when the scenario config rejects them here.  Config
+        # rejections (ValueError) stay one-line; anything else is a
+        # programming error, so embed the traceback in the message — it must
+        # travel *inside* the exception because pickling across the worker
+        # boundary drops __cause__.
+        if isinstance(error, ValueError):
+            detail = str(error)
+        else:
+            detail = "".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            ).rstrip()
+        raise CampaignError(
+            f"run {manifest.run_id!r} of scenario {manifest.scenario!r} "
+            f"failed: {detail}"
+        ) from error
+    missing = [key for key in scenario.result_fields if key not in result]
+    if missing:
+        raise CampaignError(
+            f"scenario {manifest.scenario!r} returned a record missing "
+            f"declared result fields {missing}"
+        )
+    return {
+        "run_index": manifest.run_index,
+        "run_id": manifest.run_id,
+        "scenario": manifest.scenario,
+        "seed": manifest.seed,
+        "params": dict(manifest.params),
+        "result": result,
+    }
+
+
+def _worker(payload: Tuple[int, str, str, Dict[str, Any], int]) -> Dict[str, Any]:
+    """Pool entry point: rebuild the manifest and execute it."""
+    run_index, run_id, scenario, params, seed = payload
+    return execute_manifest(
+        RunManifest(run_index=run_index, run_id=run_id, scenario=scenario,
+                    params=params, seed=seed)
+    )
+
+
+@dataclass
+class CampaignReport:
+    """What a finished (or resumed-to-completion) campaign hands back."""
+
+    spec: CampaignSpec
+    records: List[Dict[str, Any]]
+    executed: int
+    skipped: int
+    workers: int
+    directory: Optional[Path] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def results(self) -> List[Dict[str, Any]]:
+        """The flat per-run result dicts, in run order."""
+        return [record["result"] for record in self.records]
+
+
+class CampaignEngine:
+    """Expands and executes one campaign, optionally persisting to disk."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        workers: int = 1,
+        directory: Optional[Union[str, Path]] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise CampaignError("workers must be >= 1")
+        self.spec = spec
+        self.workers = workers
+        self.store = ResultStore(directory) if directory is not None else None
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        *,
+        resume: bool = False,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignReport:
+        """Execute every pending run; returns the complete, ordered records.
+
+        With ``resume=True`` (and a store), runs already present in
+        ``results.jsonl`` are skipped — re-running an interrupted campaign
+        picks up exactly where it stopped.
+        """
+        manifests = self.spec.expand()
+        completed: Dict[int, Dict[str, Any]] = {}
+        if resume and self.store is None:
+            raise CampaignError(
+                "resume requested but no campaign directory is configured; "
+                "pass the directory the interrupted campaign wrote to (--out)"
+            )
+        if self.store is not None:
+            self.store.check_manifest(self.spec, manifests)
+            if resume:
+                self.store.repair()
+                completed = self.store.completed()
+            elif self.store.results_path.exists():
+                # Even a torn, record-less file means a previous attempt ran
+                # here; appending to it fresh would corrupt or discard work.
+                raise CampaignError(
+                    f"campaign directory {self.store.directory} already has results; "
+                    "pass resume=True (or --resume) to continue it"
+                )
+            self.store.write_manifest(self.spec, manifests)
+
+        pending = [m for m in manifests if m.run_index not in completed]
+        done = len(completed)
+        total = len(manifests)
+        for record in self._execute(pending):
+            completed[record["run_index"]] = record
+            if self.store is not None:
+                self.store.append(record)
+            done += 1
+            if progress is not None:
+                progress(done, total, record)
+
+        if self.store is not None:
+            records = self.store.finalize()
+        else:
+            records = [completed[index] for index in sorted(completed)]
+        return CampaignReport(
+            spec=self.spec,
+            records=records,
+            executed=len(pending),
+            skipped=total - len(pending),
+            workers=self.workers,
+            directory=self.store.directory if self.store is not None else None,
+        )
+
+    # --------------------------------------------------------------- workers
+    def _execute(self, pending: List[RunManifest]) -> Iterable[Dict[str, Any]]:
+        if self.workers == 1 or len(pending) <= 1:
+            for manifest in pending:
+                yield execute_manifest(manifest)
+            return
+        payloads = [
+            (m.run_index, m.run_id, m.scenario, m.params, m.seed) for m in pending
+        ]
+        context = (
+            multiprocessing.get_context(self._mp_context)
+            if self._mp_context is not None
+            else multiprocessing.get_context()
+        )
+        processes = min(self.workers, len(payloads))
+        with context.Pool(processes=processes) as pool:
+            # imap_unordered: records checkpoint as soon as any worker finishes;
+            # ordering is restored by ResultStore.finalize / the report sort.
+            for record in pool.imap_unordered(_worker, payloads, chunksize=1):
+                yield record
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    directory: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    mp_context: Optional[str] = None,
+) -> CampaignReport:
+    """One-call convenience wrapper around :class:`CampaignEngine`."""
+    engine = CampaignEngine(
+        spec, workers=workers, directory=directory, mp_context=mp_context
+    )
+    return engine.run(resume=resume, progress=progress)

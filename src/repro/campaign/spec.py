@@ -1,0 +1,248 @@
+"""Campaign specifications and their expansion into run manifests.
+
+A :class:`CampaignSpec` is a declarative description of a population-scale
+experiment: one registered scenario, a parameter space (scalars are fixed,
+lists are swept as a cross product), an optional patient cohort, and a
+repeat count.  :meth:`CampaignSpec.expand` turns it into a flat list of
+:class:`RunManifest` entries, each carrying a stable ``run_id`` and a seed
+derived from that id through :func:`repro.sim.random.derive_seed` — so a
+run's randomness depends only on the campaign seed and the run's identity,
+never on execution order, worker placement, or resume history.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.campaign.registry import CampaignError, get_scenario
+from repro.sim.random import derive_seed
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """One unit of campaign work: a scenario invocation with bound parameters."""
+
+    run_index: int
+    run_id: str
+    scenario: str
+    params: Dict[str, Any]
+    seed: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative description of a simulation campaign.
+
+    parameters:
+        Mapping of scenario parameter name to either a scalar (fixed for
+        every run) or a list of values (swept; the cross product of all
+        swept parameters defines the configuration grid).
+    cohort_size:
+        If positive, every grid point additionally runs once per patient in
+        a reproducible cohort of this size (scenario must support cohorts).
+    repeats:
+        Independent replications of every (grid point, patient) cell, each
+        with its own derived seed.
+    base_seed:
+        Master seed; everything stochastic in the campaign derives from it.
+    """
+
+    name: str
+    scenario: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    cohort_size: int = 0
+    repeats: int = 1
+    base_seed: int = 0
+    description: str = ""
+
+    def validate(self) -> None:
+        if not self.name:
+            raise CampaignError("campaign name must be non-empty")
+        if self.repeats < 1:
+            raise CampaignError("repeats must be >= 1")
+        if self.cohort_size < 0:
+            raise CampaignError("cohort_size must be non-negative")
+        if self.base_seed < 0:
+            raise CampaignError("base_seed must be non-negative")
+        scenario = get_scenario(self.scenario)
+        empty = [key for key, value in self.parameters.items()
+                 if isinstance(value, list) and not value]
+        if empty:
+            raise CampaignError(
+                f"swept parameters {empty} have no values; the campaign would "
+                "expand to zero runs"
+            )
+        reserved = sorted(set(scenario.AUTO_PARAMS) & set(self.parameters))
+        if reserved:
+            raise CampaignError(
+                f"parameters {reserved} are injected by the engine (use cohort_size "
+                "/ repeats instead of setting them directly)"
+            )
+        scenario.validate_params(dict(self.parameters))
+        if self.cohort_size > 0 and not scenario.supports_cohort:
+            raise CampaignError(
+                f"scenario {self.scenario!r} does not support patient cohorts"
+            )
+        if scenario.spec_validator is not None:
+            scenario.spec_validator(self)
+
+    # ------------------------------------------------------------- expansion
+    def sweep_axes(self) -> List[str]:
+        """Names of the swept (list-valued) parameters, in declaration order."""
+        return [key for key, value in self.parameters.items() if isinstance(value, list)]
+
+    def grid_size(self) -> int:
+        """Total run count, without materialising the manifests.
+
+        Kept arithmetically in sync with :meth:`expand` (tested against it),
+        so banners can print counts for huge campaigns at no cost.
+        """
+        size = self.repeats * max(1, self.cohort_size)
+        for axis in self.sweep_axes():
+            size *= len(self.parameters[axis])
+        return size
+
+    def expand(self) -> List[RunManifest]:
+        """Expand into the full, deterministically ordered run list."""
+        self.validate()
+        scenario = get_scenario(self.scenario)
+        axes = self.sweep_axes()
+        fixed = {
+            key: value
+            for key, value in self.parameters.items()
+            if not isinstance(value, list)
+        }
+        grids = [self.parameters[axis] for axis in axes]
+        patient_indices: List[Optional[int]] = (
+            list(range(self.cohort_size)) if self.cohort_size > 0 else [None]
+        )
+        cohort_seed = derive_seed(self.base_seed, f"campaign:{self.name}:cohort")
+
+        manifests: List[RunManifest] = []
+        for point in itertools.product(*grids) if grids else [()]:
+            for patient_index in patient_indices:
+                for repeat in range(self.repeats):
+                    params = dict(fixed)
+                    params.update(dict(zip(axes, point)))
+                    id_parts = [f"{axis}={params[axis]}" for axis in axes]
+                    if patient_index is not None:
+                        params["patient_index"] = patient_index
+                        params["cohort_seed"] = cohort_seed
+                        id_parts.append(f"patient={patient_index:03d}")
+                    if self.repeats > 1:
+                        params["repeat"] = repeat
+                    id_parts.append(f"rep={repeat}")
+                    run_id = "&".join(id_parts)
+                    resolved = scenario.resolved_params(params)
+                    manifests.append(
+                        RunManifest(
+                            run_index=len(manifests),
+                            run_id=run_id,
+                            scenario=self.scenario,
+                            params=resolved,
+                            seed=derive_seed(self.base_seed, f"run:{run_id}"),
+                        )
+                    )
+        seen: Dict[str, int] = {}
+        for manifest in manifests:
+            if manifest.run_id in seen:
+                # Identical run ids mean identical seeds: the "independent"
+                # samples would be perfectly correlated copies.
+                raise CampaignError(
+                    f"duplicate run id {manifest.run_id!r} (runs "
+                    f"{seen[manifest.run_id]} and {manifest.run_index}); "
+                    "remove duplicate sweep values, or use repeats for replication"
+                )
+            seen[manifest.run_id] = manifest.run_index
+        return manifests
+
+    # ----------------------------------------------------------- persistence
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "parameters": self.parameters,
+            "cohort_size": self.cohort_size,
+            "repeats": self.repeats,
+            "base_seed": self.base_seed,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        unknown = sorted(set(data) - set(cls.__dataclass_fields__))
+        if unknown:
+            raise CampaignError(f"unknown campaign spec fields: {unknown}")
+        if "name" not in data or "scenario" not in data:
+            raise CampaignError("campaign spec requires 'name' and 'scenario'")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignSpec":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return cls.from_dict(json.load(handle))
+        except OSError as error:
+            raise CampaignError(f"cannot read campaign spec {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise CampaignError(f"campaign spec {path} is not valid JSON: {error}") from error
+
+
+def cohort_patient(
+    cohort_seed: int,
+    index: int,
+    *,
+    sensitive_fraction: float = 0.15,
+    athlete_fraction: float = 0.1,
+):
+    """Deterministically materialise patient ``index`` of a campaign cohort.
+
+    Each patient is sampled from its own derived stream, so patient ``i`` is
+    identical across configurations, workers, and resumes — campaigns compare
+    configurations on *paired* populations, and materialising one patient
+    never requires sampling the ones before it.
+    """
+    from repro.patient.population import PatientPopulation
+
+    rng = np.random.default_rng(derive_seed(cohort_seed, f"patient:{index}"))
+    population = PatientPopulation(rng=rng)
+    patient = population.sample(
+        1,
+        prefix="cohort",
+        sensitive_fraction=sensitive_fraction,
+        athlete_fraction=athlete_fraction,
+    )[0]
+    return replace(patient, patient_id=f"patient-{index:03d}")
+
+
+def patient_from_params(
+    params: Mapping[str, Any],
+    *,
+    sensitive_fraction: float = 0.15,
+    athlete_fraction: float = 0.1,
+):
+    """The patient a cohort-capable runner should simulate for ``params``.
+
+    Resolves the engine-injected ``patient_index`` / ``cohort_seed`` auto
+    params to a :func:`cohort_patient`, or falls back to the default patient
+    for cohort-less campaigns.
+    """
+    from repro.patient.population import DEFAULT_PATIENT
+
+    if params.get("patient_index") is None:
+        return DEFAULT_PATIENT
+    return cohort_patient(
+        params["cohort_seed"],
+        params["patient_index"],
+        sensitive_fraction=sensitive_fraction,
+        athlete_fraction=athlete_fraction,
+    )

@@ -1,0 +1,168 @@
+"""Streaming JSONL result store with checkpoint/resume.
+
+Layout of a campaign directory::
+
+    <dir>/manifest.json   # the spec plus the fully expanded run list
+    <dir>/results.jsonl   # one JSON object per completed run
+
+Results are appended (and flushed) as runs complete, so an interrupted
+campaign loses at most the in-flight runs; :meth:`ResultStore.completed`
+tolerates a torn final line when re-reading.  :meth:`ResultStore.finalize`
+rewrites ``results.jsonl`` in run-index order through an atomic replace,
+which makes the finished file byte-identical regardless of whether the
+campaign ran serially, in parallel, or across several resumed sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.campaign.registry import CampaignError
+from repro.campaign.spec import CampaignSpec, RunManifest
+
+MANIFEST_FILE = "manifest.json"
+RESULTS_FILE = "results.jsonl"
+
+
+def _sanitize(value: Any) -> Any:
+    """Map non-finite floats to None so the output is strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
+
+
+def _dumps(record: Dict[str, Any]) -> str:
+    """Canonical strict-JSON encoding (sorted keys, compact, NaN/inf -> null).
+
+    ``allow_nan=False`` because a bare ``NaN`` token would make the file
+    unreadable for every non-Python JSON consumer.
+    """
+    return json.dumps(_sanitize(record), sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+class ResultStore:
+    """Disk-backed store for one campaign's manifest and per-run results."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.directory / MANIFEST_FILE
+        self.results_path = self.directory / RESULTS_FILE
+
+    # -------------------------------------------------------------- manifest
+    def write_manifest(self, spec: CampaignSpec, manifests: Sequence[RunManifest]) -> None:
+        payload = {
+            "spec": spec.as_dict(),
+            "runs": [manifest.as_dict() for manifest in manifests],
+        }
+        self._atomic_write(self.manifest_path, _dumps(payload))
+
+    def load_manifest(self) -> Optional[Dict[str, Any]]:
+        if not self.manifest_path.exists():
+            return None
+        with open(self.manifest_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def check_manifest(
+        self, spec: CampaignSpec, manifests: Optional[Sequence[RunManifest]] = None
+    ) -> None:
+        """Refuse to resume into a directory holding a *different* campaign.
+
+        Comparing the expanded run list as well as the spec matters: scenario
+        registry *defaults* are resolved into each manifest but absent from
+        the spec, so a changed default would otherwise silently mix records
+        from two parameterisations in one results file.
+        """
+        existing = self.load_manifest()
+        if existing is None:
+            return
+        if existing.get("spec") != spec.as_dict():
+            raise CampaignError(
+                f"campaign directory {self.directory} already holds campaign "
+                f"{existing.get('spec', {}).get('name')!r} with a different spec; "
+                "pass a fresh directory or the matching spec"
+            )
+        if manifests is not None:
+            # Normalise through the same JSON encoding the manifest was
+            # written with so tuples/lists etc. compare equal.
+            fresh = json.loads(_dumps({"runs": [m.as_dict() for m in manifests]}))
+            if existing.get("runs") != fresh["runs"]:
+                raise CampaignError(
+                    f"campaign directory {self.directory} was produced with "
+                    "different resolved run parameters (a scenario default has "
+                    "changed?); pass a fresh directory"
+                )
+
+    # --------------------------------------------------------------- results
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one completed-run record and flush it to disk."""
+        with open(self.results_path, "a", encoding="utf-8") as handle:
+            handle.write(_dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All intact records currently on disk (torn tail lines skipped)."""
+        if not self.results_path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        with open(self.results_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A torn line can only be the interrupted tail write.
+                    break
+        return records
+
+    def completed(self) -> Dict[int, Dict[str, Any]]:
+        """Completed records keyed by run index (last write wins)."""
+        return {record["run_index"]: record for record in self.records()}
+
+    def repair(self) -> int:
+        """Truncate ``results.jsonl`` to its intact prefix; returns kept count.
+
+        Must run before appending to a file that may end in a torn line from
+        an interrupted write — otherwise the next append would concatenate
+        onto the fragment and corrupt that record too.
+        """
+        records = self.records()
+        if self.results_path.exists():
+            body = "".join(_dumps(record) + "\n" for record in records)
+            self._atomic_write(self.results_path, body)
+        return len(records)
+
+    def finalize(self) -> List[Dict[str, Any]]:
+        """Rewrite ``results.jsonl`` sorted by run index; return the records."""
+        completed = self.completed()
+        ordered = [completed[index] for index in sorted(completed)]
+        body = "".join(_dumps(record) + "\n" for record in ordered)
+        self._atomic_write(self.results_path, body)
+        return ordered
+
+    # --------------------------------------------------------------- helpers
+    def _atomic_write(self, path: Path, content: str) -> None:
+        temporary = path.with_suffix(path.suffix + ".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+
+
+def load_results(directory: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Convenience: the intact records of a campaign directory, in run order."""
+    records = ResultStore(directory).completed()
+    return [records[index] for index in sorted(records)]

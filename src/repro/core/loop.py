@@ -101,9 +101,11 @@ class PCARunResult:
     details: Dict[str, Any] = field(default_factory=dict)
 
     def as_record(self) -> Dict[str, Any]:
+        """Flat, JSON-serialisable record of the run (campaign result schema)."""
         record = {
             "mode": self.mode,
             "patient_id": self.patient_id,
+            "duration_s": self.duration_s,
             "respiratory_failure_events": self.respiratory_failure_events,
             "time_in_respiratory_failure_s": self.time_in_respiratory_failure_s,
             "time_below_spo2_90_s": self.time_below_spo2_90_s,
@@ -116,7 +118,9 @@ class PCARunResult:
             "mean_pain_level": self.mean_pain_level,
             "supervisor_stops": self.supervisor_stops,
             "supervisor_resumes": self.supervisor_resumes,
+            "supervisor_first_stop_time_s": self.supervisor_first_stop_time_s,
             "caregiver_interventions": self.caregiver_interventions,
+            "caregiver_alarms_missed": self.caregiver_alarms_missed,
             "harmed": self.harmed,
         }
         return record

@@ -14,13 +14,33 @@ Each module builds a complete simulated clinical situation from the paper:
   patient-motion interrupts (Section II(a)).
 * :mod:`~repro.scenarios.home` -- continuous home monitoring: store-and-
   forward versus real-time closed-loop telemonitoring (Section II(d)).
+
+Importing this package also registers every scenario's campaign runner with
+:mod:`repro.campaign.registry`, so all five are sweepable at population
+scale through ``python -m repro.campaign``.
 """
 
-from repro.scenarios.pca_scenario import build_pca_scenario_spec, pca_fault_campaign
-from repro.scenarios.xray_vent import XRayVentilatorScenario, XRayVentilatorResult
-from repro.scenarios.bed_map import BedMapScenario, BedMapResult
-from repro.scenarios.proton import ProtonSchedulingScenario, ProtonSchedulingResult
-from repro.scenarios.home import HomeMonitoringScenario, HomeMonitoringResult
+from repro.scenarios.pca_scenario import (
+    build_pca_scenario_spec,
+    pca_fault_campaign,
+    run_pca_campaign,
+)
+from repro.scenarios.xray_vent import (
+    XRayVentilatorScenario,
+    XRayVentilatorResult,
+    run_xray_vent_campaign,
+)
+from repro.scenarios.bed_map import BedMapScenario, BedMapResult, run_bed_map_campaign
+from repro.scenarios.proton import (
+    ProtonSchedulingScenario,
+    ProtonSchedulingResult,
+    run_proton_campaign,
+)
+from repro.scenarios.home import (
+    HomeMonitoringScenario,
+    HomeMonitoringResult,
+    run_home_campaign,
+)
 
 __all__ = [
     "build_pca_scenario_spec",
@@ -33,4 +53,9 @@ __all__ = [
     "ProtonSchedulingResult",
     "HomeMonitoringScenario",
     "HomeMonitoringResult",
+    "run_pca_campaign",
+    "run_xray_vent_campaign",
+    "run_bed_map_campaign",
+    "run_proton_campaign",
+    "run_home_campaign",
 ]

@@ -11,11 +11,13 @@ genuine hypotension episodes injected into the same run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.alarms.smart import ContextEvent, SmartAlarmEngine, bed_map_suppression_rules
+from repro.campaign.registry import campaign_scenario
+from repro.campaign.spec import patient_from_params
 from repro.alarms.thresholds import AlarmSeverity, ThresholdAlarm, ThresholdRule
 from repro.analysis.metrics import AlarmConfusion, classify_alarms
 from repro.devices.bed import HospitalBed
@@ -160,3 +162,50 @@ class BedMapScenario:
             technical_advisories=counts["technical"],
             confusion=confusion,
         )
+
+
+# --------------------------------------------------------------- campaigns
+@campaign_scenario(
+    "bed_map",
+    defaults={
+        "duration_s": 6.0 * 3600.0,
+        "bed_moves": 8,
+        "bed_move_height_cm": 40.0,
+        "true_hypotension_episodes": 2,
+        "use_context_awareness": True,
+        "map_alarm_threshold_mmhg": 65.0,
+        "sample_period_s": 15.0,
+    },
+    result_fields=(
+        "context_aware", "bed_moves", "true_episodes", "clinical_alarms",
+        "suppressed_alarms", "false_alarms", "missed_episodes",
+    ),
+    supports_cohort=True,
+    description="Context-aware bed/MAP false-alarm suppression (experiment E5 at scale)",
+)
+def run_bed_map_campaign(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Campaign runner: one bed/MAP monitoring shift."""
+    config = BedMapConfig(
+        duration_s=params["duration_s"],
+        bed_moves=params["bed_moves"],
+        bed_move_height_cm=params["bed_move_height_cm"],
+        true_hypotension_episodes=params["true_hypotension_episodes"],
+        use_context_awareness=params["use_context_awareness"],
+        map_alarm_threshold_mmhg=params["map_alarm_threshold_mmhg"],
+        sample_period_s=params["sample_period_s"],
+        seed=seed,
+        patient=patient_from_params(params),
+    )
+    result = BedMapScenario(config).run()
+    return {
+        "context_aware": result.context_aware,
+        "bed_moves": result.bed_moves,
+        "true_episodes": result.true_episodes,
+        "clinical_alarms": result.clinical_alarms,
+        "suppressed_alarms": result.suppressed_alarms,
+        "technical_advisories": result.technical_advisories,
+        "false_alarms": result.false_alarm_count,
+        "missed_episodes": result.missed_episodes,
+        "alarm_sensitivity": result.confusion.sensitivity,
+        "alarm_precision": result.confusion.precision,
+    }

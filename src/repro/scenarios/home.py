@@ -24,12 +24,13 @@ the fraction of episodes detected within a clinically useful window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.alarms.thresholds import ThresholdAlarm, ThresholdRule, AlarmSeverity
 from repro.analysis.metrics import detection_latency
+from repro.campaign.registry import campaign_scenario
 
 
 @dataclass
@@ -185,3 +186,44 @@ class HomeMonitoringScenario:
             detection_latencies_s=latencies,
             alarms_raised=len(alarm.alarms),
         )
+
+
+# --------------------------------------------------------------- campaigns
+@campaign_scenario(
+    "home",
+    defaults={
+        "mode": "real_time",
+        "duration_s": 24.0 * 3600.0,
+        "sample_period_s": 60.0,
+        "upload_period_s": 4.0 * 3600.0,
+        "review_delay_s": 1800.0,
+        "network_latency_s": 2.0,
+        "detection_window_s": 1800.0,
+    },
+    result_fields=(
+        "mode", "episodes", "detected_episodes", "alarms_raised",
+        "mean_detection_latency_s", "detected_within_window",
+    ),
+    description="Home telemonitoring: store-and-forward vs real-time (experiment E12 at scale)",
+)
+def run_home_campaign(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Campaign runner: one 24 h home-monitoring episode."""
+    config = HomeMonitoringConfig(
+        mode=params["mode"],
+        duration_s=params["duration_s"],
+        sample_period_s=params["sample_period_s"],
+        upload_period_s=params["upload_period_s"],
+        review_delay_s=params["review_delay_s"],
+        network_latency_s=params["network_latency_s"],
+        seed=seed,
+    )
+    result = HomeMonitoringScenario(config).run()
+    return {
+        "mode": result.mode,
+        "episodes": result.episodes,
+        "detected_episodes": result.detected_episodes,
+        "alarms_raised": result.alarms_raised,
+        "mean_detection_latency_s": result.mean_detection_latency_s,
+        "detected_within_window": result.detected_within(params["detection_window_s"]),
+        "detection_latencies_s": result.detection_latencies_s,
+    }

@@ -9,8 +9,10 @@ experiment E1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.campaign.registry import CampaignError, campaign_scenario
+from repro.campaign.spec import patient_from_params
 from repro.sim.faults import FaultSpec
 from repro.workflow.spec import (
     CaregiverRole,
@@ -244,3 +246,89 @@ def pca_fault_campaign(
             )
         )
     return faults
+
+
+# --------------------------------------------------------------- campaigns
+def _validate_pca_campaign(spec) -> None:
+    """Reject spec shapes that would silently mislead (caught before any run)."""
+    if spec.cohort_size > 0:
+        return
+    shaped = [key for key in ("sensitive_fraction", "athlete_fraction")
+              if key in spec.parameters]
+    if shaped:
+        raise CampaignError(
+            f"{shaped} shape the sampled cohort and have no effect without "
+            "one; set cohort_size > 0 in the campaign spec"
+        )
+
+
+@campaign_scenario(
+    "pca",
+    defaults={
+        "mode": "closed_loop",
+        "policy": "fused",
+        "duration_s": 3.0 * 3600.0,
+        "with_capnograph": True,
+        "bolus_dose_mg": 1.5,
+        "lockout_interval_s": 300.0,
+        "hourly_limit_mg": 12.0,
+        "basal_rate_mg_per_hr": 1.5,
+        "button_press_period_s": 420.0,
+        "faults": "none",
+        "misprogramming_rate_multiplier": 4.0,
+        "sensitive_fraction": 0.15,
+        "athlete_fraction": 0.1,
+    },
+    result_fields=(
+        "mode", "patient_id", "harmed", "respiratory_failure_events",
+        "time_below_spo2_90_s", "min_spo2", "total_drug_delivered_mg",
+        "mean_pain_level", "supervisor_stops",
+    ),
+    supports_cohort=True,
+    description="Closed-loop PCA safety run over a patient cohort (experiment E1 at scale)",
+    spec_validator=_validate_pca_campaign,
+)
+def run_pca_campaign(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Campaign runner: one closed-/open-loop PCA encounter, fully seeded."""
+    from repro.core.loop import ClosedLoopPCASystem, PCASystemConfig
+    from repro.core.pca import SupervisorConfig
+    from repro.devices.pca_pump import PCAPrescription
+
+    patient = patient_from_params(
+        params,
+        sensitive_fraction=params["sensitive_fraction"],
+        athlete_fraction=params["athlete_fraction"],
+    )
+
+    fault_plan = params["faults"]
+    if fault_plan == "none":
+        faults: List[FaultSpec] = []
+    elif fault_plan == "standard":
+        faults = pca_fault_campaign(
+            misprogramming_rate_multiplier=params["misprogramming_rate_multiplier"]
+        )
+    elif fault_plan == "standard+outage":
+        faults = pca_fault_campaign(
+            misprogramming_rate_multiplier=params["misprogramming_rate_multiplier"],
+            include_communication_outage=True,
+        )
+    else:
+        raise ValueError(f"unknown fault plan {fault_plan!r}")
+
+    config = PCASystemConfig(
+        mode=params["mode"],
+        duration_s=params["duration_s"],
+        patient=patient,
+        prescription=PCAPrescription(
+            bolus_dose_mg=params["bolus_dose_mg"],
+            lockout_interval_s=params["lockout_interval_s"],
+            hourly_limit_mg=params["hourly_limit_mg"],
+            basal_rate_mg_per_hr=params["basal_rate_mg_per_hr"],
+        ),
+        supervisor=SupervisorConfig(policy=params["policy"]),
+        with_capnograph=params["with_capnograph"],
+        button_press_period_s=params["button_press_period_s"],
+        faults=faults,
+        seed=seed,
+    )
+    return ClosedLoopPCASystem(config).run().as_record()

@@ -11,11 +11,12 @@ latency of the two safety paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.campaign.registry import campaign_scenario
 from repro.devices.proton import ProtonTherapySystem, TreatmentRoom
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
@@ -117,3 +118,43 @@ class ProtonSchedulingScenario:
             beam_switches=self.system.switch_count,
             emergency_shutdown_triggered=self.system.shutdown,
         )
+
+
+# --------------------------------------------------------------- campaigns
+@campaign_scenario(
+    "proton",
+    defaults={
+        "rooms": 3,
+        "fractions_per_room": 4,
+        "fraction_spots": 60,
+        "spot_duration_s": 0.4,
+        "request_period_s": 400.0,
+        "switch_time_s": 20.0,
+        "motion_events_per_room": 1,
+        "emergency_shutdown_time_s": None,
+        "duration_s": 2.0 * 3600.0,
+    },
+    result_fields=(
+        "rooms", "fractions_requested", "fractions_completed", "completion_rate",
+        "beam_utilisation", "mean_waiting_time_s", "motion_events",
+    ),
+    description="Multi-room proton beam scheduling throughput (experiment E8 at scale)",
+)
+def run_proton_campaign(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Campaign runner: one proton-therapy facility session."""
+    config = ProtonSchedulingConfig(
+        rooms=params["rooms"],
+        fractions_per_room=params["fractions_per_room"],
+        fraction_spots=params["fraction_spots"],
+        spot_duration_s=params["spot_duration_s"],
+        request_period_s=params["request_period_s"],
+        switch_time_s=params["switch_time_s"],
+        motion_events_per_room=params["motion_events_per_room"],
+        emergency_shutdown_time_s=params["emergency_shutdown_time_s"],
+        duration_s=params["duration_s"],
+        seed=seed,
+    )
+    result = ProtonSchedulingScenario(config).run()
+    record = asdict(result)
+    record["completion_rate"] = result.completion_rate
+    return record

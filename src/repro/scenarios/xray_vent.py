@@ -21,11 +21,12 @@ experiment E3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.campaign.registry import campaign_scenario
 from repro.devices.ventilator import Ventilator, VentilatorSettings
 from repro.devices.xray import XRayConfig, XRayMachine
 from repro.sim.channel import Channel, ChannelConfig
@@ -234,3 +235,41 @@ class XRayVentilatorScenario:
             unsafe_apnea_events=sum(1 for duration in apnea_durations if duration > max_safe),
             ventilator_left_paused=self.ventilator.phase.value == "held",
         )
+
+
+# --------------------------------------------------------------- campaigns
+@campaign_scenario(
+    "xray_vent",
+    defaults={
+        "mode": "state_broadcast",
+        "image_requests": 10,
+        "request_period_s": 300.0,
+        "command_loss_probability": 0.0,
+        "network_latency_s": 0.05,
+        "forget_restart_probability": 0.05,
+        "apnea_watchdog_enabled": False,
+        "apnea_watchdog_timeout_s": 60.0,
+    },
+    result_fields=(
+        "mode", "images_requested", "sharp_images", "image_success_rate",
+        "apnea_episodes", "total_apnea_time_s", "unsafe_apnea_events",
+    ),
+    description="X-ray / ventilator coordination-mode comparison (experiment E3 at scale)",
+)
+def run_xray_vent_campaign(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Campaign runner: one X-ray/ventilator synchronisation session."""
+    config = XRayVentilatorConfig(
+        mode=params["mode"],
+        image_requests=params["image_requests"],
+        request_period_s=params["request_period_s"],
+        command_loss_probability=params["command_loss_probability"],
+        network_latency_s=params["network_latency_s"],
+        forget_restart_probability=params["forget_restart_probability"],
+        apnea_watchdog_enabled=params["apnea_watchdog_enabled"],
+        apnea_watchdog_timeout_s=params["apnea_watchdog_timeout_s"],
+        seed=seed,
+    )
+    result = XRayVentilatorScenario(config).run()
+    record = asdict(result)
+    record["image_success_rate"] = result.image_success_rate
+    return record

@@ -23,7 +23,7 @@ from repro.sim.kernel import Event, Process, Simulator, SimulationError
 from repro.sim.channel import Channel, ChannelConfig, Message
 from repro.sim.faults import FaultInjector, FaultSpec
 from repro.sim.trace import TraceRecorder, TracePoint
-from repro.sim.random import RandomStreams
+from repro.sim.random import RandomStreams, derive_seed
 
 __all__ = [
     "Event",
@@ -38,4 +38,5 @@ __all__ = [
     "TraceRecorder",
     "TracePoint",
     "RandomStreams",
+    "derive_seed",
 ]

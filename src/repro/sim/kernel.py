@@ -92,6 +92,8 @@ class Simulator:
         name: str = "",
     ) -> Event:
         """Schedule ``callback`` at absolute simulated ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule event at non-finite time {time!r}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event in the past (now={self._now}, requested={time})"

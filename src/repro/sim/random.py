@@ -15,6 +15,21 @@ from typing import Dict
 import numpy as np
 
 
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive an unsigned 64-bit seed for ``name`` from ``master_seed``.
+
+    The derivation is position-independent: it depends only on the pair
+    ``(master_seed, name)``, never on how many seeds were derived before.
+    Campaign workers use this to seed each run from its stable run
+    identifier, so a run's randomness is identical whether it executes
+    serially, in a worker pool, or alone during a resume.
+    """
+    if master_seed < 0:
+        raise ValueError("master_seed must be non-negative")
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 class RandomStreams:
     """Factory of named :class:`numpy.random.Generator` streams.
 
@@ -30,8 +45,7 @@ class RandomStreams:
         self._streams: Dict[str, np.random.Generator] = {}
 
     def _seed_for(self, name: str) -> int:
-        digest = hashlib.sha256(f"{self.master_seed}:{name}".encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "little")
+        return derive_seed(self.master_seed, name)
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the generator for ``name``."""

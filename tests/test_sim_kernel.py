@@ -33,6 +33,26 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             simulator.run()
 
+    def test_schedule_at_nan_rejected(self, simulator):
+        # Regression: NaN slips past the `time < now` check because every
+        # comparison with NaN is False, so the event would sit in the queue
+        # with an unorderable key.
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(float("nan"), lambda: None)
+
+    @pytest.mark.parametrize("time", [float("inf"), float("-inf")])
+    def test_schedule_at_infinite_time_rejected(self, simulator, time):
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(time, lambda: None)
+
+    def test_schedule_nan_delay_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule(float("nan"), lambda: None)
+
+    def test_schedule_infinite_delay_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule(float("inf"), lambda: None)
+
     def test_events_ordered_by_time(self, simulator):
         order = []
         simulator.schedule(3.0, lambda: order.append("c"))
@@ -116,6 +136,72 @@ class TestScheduling:
 
     def test_peek_empty_queue(self, simulator):
         assert simulator.peek() is None
+
+
+class TestKernelEdgeCases:
+    def test_max_events_truncation_returns_time_of_last_executed(self, simulator):
+        for time in (1.0, 2.0, 3.0):
+            simulator.schedule(time, lambda: None)
+        end = simulator.run(max_events=2)
+        assert end == 2.0
+        assert simulator.now == 2.0
+        assert simulator.pending() == 1
+
+    def test_max_events_spans_multiple_runs(self, simulator):
+        for time in (1.0, 2.0, 3.0, 4.0):
+            simulator.schedule(time, lambda: None)
+        simulator.run(max_events=2)
+        # max_events bounds the *total* executed count, not a per-call budget.
+        end = simulator.run(max_events=3)
+        assert simulator.event_count == 3
+        assert end == 3.0
+
+    def test_event_count_excludes_cancelled_events(self, simulator):
+        kept = simulator.schedule(1.0, lambda: None)
+        dropped = simulator.schedule(2.0, lambda: None)
+        dropped.cancel()
+        simulator.schedule(3.0, lambda: None)
+        simulator.run()
+        assert kept.cancelled is False
+        assert simulator.event_count == 2
+
+    def test_event_count_includes_step_executions(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        simulator.step()
+        simulator.run()
+        assert simulator.event_count == 2
+
+    def test_same_time_priority_then_fifo_ordering(self, simulator):
+        order = []
+        simulator.schedule(1.0, lambda: order.append("b1"), priority=0)
+        simulator.schedule(1.0, lambda: order.append("a1"), priority=-1)
+        simulator.schedule(1.0, lambda: order.append("b2"), priority=0)
+        simulator.schedule(1.0, lambda: order.append("a2"), priority=-1)
+        simulator.schedule(1.0, lambda: order.append("c"), priority=7)
+        simulator.run()
+        assert order == ["a1", "a2", "b1", "b2", "c"]
+
+    def test_cancelled_periodic_task_leaves_no_pending_event(self, simulator):
+        task = simulator.call_every(1.0, lambda: None)
+        simulator.run(until=2.5)
+        task.cancel()
+        assert simulator.pending() == 0
+        simulator.run(until=10.0)
+        assert task.run_count == 2
+
+    def test_periodic_task_cancelling_itself_stops_rescheduling(self, simulator):
+        ticks = []
+
+        def tick():
+            ticks.append(simulator.now)
+            if len(ticks) == 3:
+                task.cancel()
+
+        task = simulator.call_every(1.0, tick)
+        simulator.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert simulator.pending() == 0
 
 
 class TestPeriodicTasks:
