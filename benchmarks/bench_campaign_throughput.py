@@ -11,7 +11,7 @@ reports the (then overhead-dominated) parallel rate.
 import os
 import time
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.analysis.tables import Table
 from repro.campaign import CampaignSpec, run_campaign
@@ -62,6 +62,20 @@ def test_campaign_throughput(benchmark):
         report, elapsed = timings[workers]
         table.add_row(workers, elapsed, total_runs / elapsed, serial_elapsed / elapsed)
     emit(table)
+
+    best_parallel = min(
+        (elapsed for workers, (_, elapsed) in timings.items() if workers > 1),
+        default=serial_elapsed,
+    )
+    emit_json("campaign", {
+        "total_runs": total_runs,
+        "run_duration_s": DURATION_S,
+        "cpus": cpus,
+        "serial_elapsed_s": serial_elapsed,
+        "serial_runs_per_s": total_runs / serial_elapsed,
+        "best_parallel_elapsed_s": best_parallel,
+        "best_parallel_runs_per_s": total_runs / best_parallel,
+    })
 
     # The determinism guarantee that makes parallel campaigns trustworthy.
     for workers in worker_counts[1:]:

@@ -1,0 +1,111 @@
+"""Kernel hot-path benchmark: raw event dispatch plus one real scenario.
+
+Two workloads, one trajectory file:
+
+1. A synthetic 1M-event micro-benchmark that exercises exactly the kernel's
+   hot loop — self-rescheduling callback chains (one ``heappush`` + one
+   ``heappop`` per event) with a sprinkling of cancelled decoy events so the
+   cancelled-head discard path is measured too.  Reported as events/s.
+2. A full closed-loop PCA scenario run through the campaign registry's
+   runner (the unit of work every campaign multiplies by thousands).
+   Reported as runs/s.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py --quick  # CI
+
+Emits ``BENCH_kernel.json`` (events/s, runs/s, git sha, ISO timestamp) via
+the shared emitter in ``conftest.py`` — the machine-readable perf trajectory
+future PRs must defend.
+"""
+
+import argparse
+import time
+
+from conftest import emit_json
+
+from repro.sim.kernel import Simulator
+
+#: Concurrent self-rescheduling chains (sets the steady-state heap depth).
+CHAINS = 64
+#: Every DECOY_EVERY-th chain hop also schedules-then-cancels a decoy event.
+DECOY_EVERY = 8
+
+
+def run_synthetic(n_events: int) -> float:
+    """Dispatch ``n_events`` through the hot loop; returns events/s."""
+    sim = Simulator()
+
+    def make_chain(delay: float, index: int):
+        counter = [0]
+
+        def hop() -> None:
+            counter[0] += 1
+            if counter[0] % DECOY_EVERY == 0:
+                sim.schedule(delay * 2.0, hop).cancel()
+            sim.schedule(delay, hop)
+
+        return hop
+
+    for i in range(CHAINS):
+        delay = 0.25 + 0.01 * i
+        sim.schedule(delay, make_chain(delay, i))
+
+    started = time.perf_counter()
+    sim.run(max_events=n_events)
+    elapsed = time.perf_counter() - started
+    assert sim.event_count == n_events
+    return n_events / elapsed
+
+
+def run_pca(runs: int, duration_s: float) -> tuple:
+    """Execute ``runs`` seeded PCA scenario runs; returns (runs/s, elapsed)."""
+    from repro.campaign.registry import get_scenario
+
+    scenario = get_scenario("pca")
+    params = scenario.resolved_params({"duration_s": duration_s})
+    started = time.perf_counter()
+    for seed in range(runs):
+        scenario.runner(dict(params), 1000 + seed)
+    elapsed = time.perf_counter() - started
+    return runs / elapsed, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=1_000_000,
+                        help="synthetic micro-benchmark event count")
+    parser.add_argument("--pca-runs", type=int, default=3,
+                        help="number of timed PCA scenario runs")
+    parser.add_argument("--pca-duration", type=float, default=3.0 * 3600.0,
+                        help="simulated seconds per PCA run")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workload for CI (200k events, 1 short run)")
+    args = parser.parse_args(argv)
+
+    n_events = 200_000 if args.quick else args.events
+    pca_runs = 1 if args.quick else args.pca_runs
+    pca_duration = 3600.0 if args.quick else args.pca_duration
+
+    events_per_s = run_synthetic(n_events)
+    print(f"kernel synthetic: {n_events} events -> {events_per_s:,.0f} events/s")
+
+    runs_per_s, pca_elapsed = run_pca(pca_runs, pca_duration)
+    print(f"pca scenario: {pca_runs} x {pca_duration / 3600:.1f}h run(s) "
+          f"in {pca_elapsed:.2f}s -> {runs_per_s:.3f} runs/s")
+
+    emit_json("kernel", {
+        "workload": "quick" if args.quick else "full",
+        "synthetic_events": n_events,
+        "events_per_s": events_per_s,
+        "pca_runs": pca_runs,
+        "pca_duration_s": pca_duration,
+        "pca_elapsed_s": pca_elapsed,
+        "runs_per_s": runs_per_s,
+    })
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="campaign directory for streamed results and resume")
     run.add_argument("--resume", action="store_true",
                      help="skip runs already completed in --out")
+    run.add_argument("--chunksize", type=int, default=None,
+                     help="runs handed to a worker per dispatch (default: 1 "
+                          "with --out so checkpointing stays per-run, else "
+                          "auto: max(1, runs // (workers * 4)))")
+    run.add_argument("--flush-every", type=int, default=1,
+                     help="flush+fsync results.jsonl every N records "
+                          "(default 1 = per-record durability; larger values "
+                          "risk at most N-1 tail records on a crash)")
     run.add_argument("--group-by", default=None,
                      help="comma-separated fields for the post-run summary table")
     run.add_argument("--metrics", default=None,
@@ -127,6 +135,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         directory=args.out,
         resume=args.resume,
         progress=progress,
+        chunksize=args.chunksize,
+        flush_every=args.flush_every,
     )
     if not args.quiet:
         where = f" -> {report.directory}" if report.directory else ""

@@ -7,9 +7,14 @@ its stable run id (not from execution order), the two paths produce
 identical records; after :meth:`ResultStore.finalize` the on-disk results
 are byte-identical as well.
 
-Workers receive only ``(run_index, run_id, scenario_name, params, seed)``
-tuples and look the runner up in the scenario registry on their side, so
-nothing unpicklable crosses the process boundary.
+Workers receive the full payload list **once**, through the pool
+initializer, and are handed bare list indices per run — so per-run IPC is a
+single integer each way plus the result record, and nothing unpicklable
+crosses the process boundary.  ``imap_unordered`` chunking is auto-sized to
+``max(1, runs // (workers * 4))`` for in-memory campaigns; with a result
+store it defaults to 1 so checkpointing keeps per-run granularity (results
+only reach the store when their whole chunk completes).  Either way an
+explicit ``chunksize`` wins.
 """
 
 from __future__ import annotations
@@ -67,9 +72,19 @@ def execute_manifest(manifest: RunManifest) -> Dict[str, Any]:
     }
 
 
-def _worker(payload: Tuple[int, str, str, Dict[str, Any], int]) -> Dict[str, Any]:
-    """Pool entry point: rebuild the manifest and execute it."""
-    run_index, run_id, scenario, params, seed = payload
+#: Per-process payload table, populated once by the pool initializer.
+_WORKER_PAYLOADS: List[Tuple[int, str, str, Dict[str, Any], int]] = []
+
+
+def _pool_initializer(payloads: List[Tuple[int, str, str, Dict[str, Any], int]]) -> None:
+    """Install the campaign's payload table in a fresh worker process."""
+    global _WORKER_PAYLOADS
+    _WORKER_PAYLOADS = payloads
+
+
+def _worker(index: int) -> Dict[str, Any]:
+    """Pool entry point: look the payload up by index and execute it."""
+    run_index, run_id, scenario, params, seed = _WORKER_PAYLOADS[index]
     return execute_manifest(
         RunManifest(run_index=run_index, run_id=run_id, scenario=scenario,
                     params=params, seed=seed)
@@ -106,12 +121,20 @@ class CampaignEngine:
         workers: int = 1,
         directory: Optional[Union[str, Path]] = None,
         mp_context: Optional[str] = None,
+        chunksize: Optional[int] = None,
+        flush_every: int = 1,
     ) -> None:
         if workers < 1:
             raise CampaignError("workers must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise CampaignError("chunksize must be >= 1")
         self.spec = spec
         self.workers = workers
-        self.store = ResultStore(directory) if directory is not None else None
+        self.chunksize = chunksize
+        self.store = (
+            ResultStore(directory, flush_every=flush_every)
+            if directory is not None else None
+        )
         self._mp_context = mp_context
 
     # ------------------------------------------------------------------- run
@@ -151,18 +174,24 @@ class CampaignEngine:
         pending = [m for m in manifests if m.run_index not in completed]
         done = len(completed)
         total = len(manifests)
-        for record in self._execute(pending):
-            completed[record["run_index"]] = record
-            if self.store is not None:
-                self.store.append(record)
-            done += 1
-            if progress is not None:
-                progress(done, total, record)
+        try:
+            for record in self._execute(pending):
+                completed[record["run_index"]] = record
+                if self.store is not None:
+                    self.store.append(record)
+                done += 1
+                if progress is not None:
+                    progress(done, total, record)
 
-        if self.store is not None:
-            records = self.store.finalize()
-        else:
-            records = [completed[index] for index in sorted(completed)]
+            if self.store is not None:
+                records = self.store.finalize()
+            else:
+                records = [completed[index] for index in sorted(completed)]
+        finally:
+            # Deterministic shutdown: buffered appends reach disk even when a
+            # run raises mid-campaign (resume then sees every finished run).
+            if self.store is not None:
+                self.store.close()
         return CampaignReport(
             spec=self.spec,
             records=records,
@@ -187,10 +216,29 @@ class CampaignEngine:
             else multiprocessing.get_context()
         )
         processes = min(self.workers, len(payloads))
-        with context.Pool(processes=processes) as pool:
-            # imap_unordered: records checkpoint as soon as any worker finishes;
-            # ordering is restored by ResultStore.finalize / the report sort.
-            for record in pool.imap_unordered(_worker, payloads, chunksize=1):
+        chunksize = self.chunksize
+        if chunksize is None:
+            if self.store is not None:
+                # Checkpointing: results only reach the store when their
+                # chunk completes, so a large chunk would turn a crash into
+                # chunksize*workers re-executed runs.  Keep per-run
+                # granularity unless the caller explicitly trades it away.
+                chunksize = 1
+            else:
+                # ~4 chunks per worker: large enough to amortise IPC, small
+                # enough that a slow chunk cannot straggle the campaign.
+                chunksize = max(1, len(payloads) // (processes * 4))
+        with context.Pool(
+            processes=processes,
+            initializer=_pool_initializer,
+            initargs=(payloads,),
+        ) as pool:
+            # Payloads ship once via the initializer; the queue carries bare
+            # indices.  imap_unordered: records checkpoint as soon as any
+            # worker finishes; ordering is restored by ResultStore.finalize /
+            # the report sort.
+            for record in pool.imap_unordered(_worker, range(len(payloads)),
+                                              chunksize=chunksize):
                 yield record
 
 
@@ -202,9 +250,12 @@ def run_campaign(
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     mp_context: Optional[str] = None,
+    chunksize: Optional[int] = None,
+    flush_every: int = 1,
 ) -> CampaignReport:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
-        spec, workers=workers, directory=directory, mp_context=mp_context
+        spec, workers=workers, directory=directory, mp_context=mp_context,
+        chunksize=chunksize, flush_every=flush_every,
     )
     return engine.run(resume=resume, progress=progress)

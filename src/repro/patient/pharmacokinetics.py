@@ -16,7 +16,7 @@ simple sub-stepped Euler fallback kept for cross-checking in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -86,12 +86,17 @@ class TwoCompartmentPK:
     compartment.
     """
 
+    #: Bound on cached per-``dt`` propagator pairs (steps are near-periodic,
+    #: so a handful of distinct dt values covers an entire run).
+    _PROPAGATOR_CACHE_LIMIT = 64
+
     def __init__(self, parameters: PKParameters) -> None:
         parameters.validate()
         self.parameters = parameters
         self._central_mg = 0.0
         self._peripheral_mg = 0.0
         self._system = self._build_system()
+        self._propagators: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
 
     def _build_system(self) -> np.ndarray:
         p = self.parameters
@@ -146,10 +151,19 @@ class TwoCompartmentPK:
         state = np.array([self._central_mg, self._peripheral_mg])
         forcing = np.array([infusion_rate_mg_per_min, 0.0])
         # x' = A x + u  ->  x(t) = e^{At} x0 + A^{-1}(e^{At} - I) u
-        # A is invertible because k10 > 0.
-        exp_at = _matrix_exponential(self._system * dt_min)
-        a_inv = np.linalg.inv(self._system)
-        new_state = exp_at @ state + a_inv @ (exp_at - np.eye(2)) @ forcing
+        # A is invertible because k10 > 0.  The two propagator matrices
+        # depend only on (A, dt); steps are near-periodic, so cache them per
+        # exact dt — the cached product is the very array the recomputation
+        # would produce, keeping trajectories bit-identical.
+        cached = self._propagators.get(dt_min)
+        if cached is None:
+            exp_at = _matrix_exponential(self._system * dt_min)
+            a_inv = np.linalg.inv(self._system)
+            cached = (exp_at, a_inv @ (exp_at - np.eye(2)))
+            if len(self._propagators) < self._PROPAGATOR_CACHE_LIMIT:
+                self._propagators[dt_min] = cached
+        exp_at, forced_response = cached
+        new_state = exp_at @ state + forced_response @ forcing
         self._central_mg = max(0.0, float(new_state[0]))
         self._peripheral_mg = max(0.0, float(new_state[1]))
         return self.plasma_concentration_mg_per_l

@@ -12,15 +12,21 @@ scripted outages.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.kernel import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Message:
-    """A datagram exchanged between devices or middleware components."""
+    """A datagram exchanged between devices or middleware components.
+
+    Slotted but not frozen: two Message objects are created per delivered
+    datagram on the simulation's hottest path, and a frozen dataclass pays
+    ``object.__setattr__`` per field on every construction.  Treat
+    instances as immutable regardless.
+    """
 
     sender: str
     topic: str
@@ -30,14 +36,8 @@ class Message:
     delivered_at: Optional[float] = None
 
     def with_delivery(self, time: float) -> "Message":
-        return Message(
-            sender=self.sender,
-            topic=self.topic,
-            payload=self.payload,
-            sent_at=self.sent_at,
-            sequence=self.sequence,
-            delivered_at=time,
-        )
+        return Message(self.sender, self.topic, self.payload,
+                       self.sent_at, self.sequence, time)
 
     @property
     def latency(self) -> Optional[float]:
@@ -100,9 +100,11 @@ class Channel:
         self.config = config
         self._rng = rng
         self._subscribers: List[Tuple[Optional[str], Callable[[Message], None]]] = []
+        self._snapshot: Tuple[Tuple[Optional[str], Callable[[Message], None]], ...] = ()
         self._sequence = itertools.count()
         self._outages: List[Tuple[float, float]] = []
         self._busy_until = 0.0
+        self._deliver_name = f"channel:{name}:deliver"
         self.sent: int = 0
         self.delivered: int = 0
         self.dropped: int = 0
@@ -113,9 +115,11 @@ class Channel:
     def subscribe(self, handler: Callable[[Message], None], topic: Optional[str] = None) -> None:
         """Register ``handler`` for every message (or only ``topic`` if given)."""
         self._subscribers.append((topic, handler))
+        self._snapshot = tuple(self._subscribers)
 
     def unsubscribe(self, handler: Callable[[Message], None]) -> None:
         self._subscribers = [(t, h) for t, h in self._subscribers if h is not handler]
+        self._snapshot = tuple(self._subscribers)
 
     # ---------------------------------------------------------------- outages
     def add_outage(self, start: float, end: float) -> None:
@@ -125,19 +129,15 @@ class Channel:
         self._outages.append((start, end))
 
     def in_outage(self, time: float) -> bool:
+        if not self._outages:
+            return False
         return any(start <= time < end for start, end in self._outages)
 
     # ---------------------------------------------------------------- sending
     def send(self, sender: str, topic: str, payload: Any) -> Message:
         """Send a message; returns the (pre-delivery) message record."""
         now = self.simulator.now
-        message = Message(
-            sender=sender,
-            topic=topic,
-            payload=payload,
-            sent_at=now,
-            sequence=next(self._sequence),
-        )
+        message = Message(sender, topic, payload, now, next(self._sequence))
         self.sent += 1
 
         if self.in_outage(now) or self._sample_loss():
@@ -155,7 +155,7 @@ class Channel:
         self.simulator.schedule_at(
             delivery_time,
             lambda: self._deliver(message),
-            name=f"channel:{self.name}:deliver",
+            name=self._deliver_name,
         )
         return message
 
@@ -177,7 +177,9 @@ class Channel:
         self.delivered += 1
         self.latencies.append(delivered.latency or 0.0)
         self.delivered_messages.append(delivered)
-        for topic, handler in list(self._subscribers):
+        # Iterate a pre-built snapshot (updated on (un)subscribe) so handlers
+        # mutating subscriptions cannot disturb the in-flight delivery.
+        for topic, handler in self._snapshot:
             if topic is None or topic == message.topic:
                 handler(delivered)
 

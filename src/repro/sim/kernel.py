@@ -3,22 +3,27 @@
 The kernel is intentionally small and deterministic: events scheduled at the
 same simulated time are executed in FIFO order of their scheduling sequence
 number, so a simulation run is a pure function of its inputs and seeds.
+
+Hot-path layout: the heap holds plain ``(time, priority, sequence, event)``
+tuples so every heap comparison is a C-level tuple comparison, and
+:class:`Event` is a ``__slots__`` class carrying only per-event state.  The
+simulator tracks the live (queued, not cancelled) event count incrementally,
+which keeps :meth:`Simulator.pending` O(1) and lets :meth:`Simulator.peek`
+lazily discard cancelled heads instead of scanning the queue.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (negative delays, running twice, ...)."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -27,16 +32,42 @@ class Event:
     (lower runs first); ``sequence`` guarantees FIFO order otherwise.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "name",
+                 "cancelled", "_sim", "_in_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], None],
+        name: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.name = name
+        self.cancelled = cancelled
+        self._sim: Optional["Simulator"] = None
+        self._in_queue = False
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._in_queue and self._sim is not None:
+                self._sim._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = " cancelled" if self.cancelled else ""
+        return (f"<Event t={self.time} prio={self.priority} "
+                f"seq={self.sequence} {self.name!r}{state}>")
+
+
+#: Heap entry layout: comparisons never reach the (incomparable) Event.
+_QueueEntry = Tuple[float, int, int, Event]
 
 
 class Simulator:
@@ -51,12 +82,13 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[Event] = []
+        self._queue: List[_QueueEntry] = []
         self._sequence = itertools.count()
         self._running = False
         self._stopped = False
         self._processes: List["Process"] = []
         self._event_count = 0
+        self._live = 0  # queued and not cancelled; kept exact incrementally
 
     # ------------------------------------------------------------------ time
     @property
@@ -81,7 +113,19 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0 or math.isnan(delay):
             raise SimulationError(f"cannot schedule event with delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, priority=priority, name=name)
+        # Inlined push (rather than delegating to schedule_at): this is the
+        # single hottest call in every simulation.  delay >= 0 makes the
+        # past-check redundant; only finiteness can still fail.
+        time = self._now + delay
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule event at non-finite time {time!r}")
+        sequence = next(self._sequence)
+        event = Event(time, priority, sequence, callback, name)
+        event._sim = self
+        event._in_queue = True
+        heappush(self._queue, (time, priority, sequence, event))
+        self._live += 1
+        return event
 
     def schedule_at(
         self,
@@ -98,14 +142,13 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past (now={self._now}, requested={time})"
             )
-        event = Event(
-            time=float(time),
-            priority=priority,
-            sequence=next(self._sequence),
-            callback=callback,
-            name=name,
-        )
-        heapq.heappush(self._queue, event)
+        time = float(time)
+        sequence = next(self._sequence)
+        event = Event(time, priority, sequence, callback, name)
+        event._sim = self
+        event._in_queue = True
+        heappush(self._queue, (time, priority, sequence, event))
+        self._live += 1
         return event
 
     def call_every(
@@ -134,20 +177,29 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        queue = self._queue
+        pop = heappop
+        # Sentinel bounds keep the per-event checks to two comparisons.
+        time_bound = math.inf if until is None else until
+        count_bound = math.inf if max_events is None else max_events
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
-                if max_events is not None and self._event_count >= max_events:
+                if self._event_count >= count_bound:
                     break
-                event = self._queue[0]
-                if until is not None and event.time > until:
+                entry = queue[0]
+                time = entry[0]
+                if time > time_bound:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
+                pop(queue)
+                event = entry[3]
+                event._in_queue = False
                 if event.cancelled:
                     continue
-                self._now = event.time
+                self._live -= 1
+                self._now = time
                 self._event_count += 1
                 event.callback()
             else:
@@ -159,11 +211,15 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = heappop(queue)
+            event = entry[3]
+            event._in_queue = False
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._live -= 1
+            self._now = entry[0]
             self._event_count += 1
             event.callback()
             return True
@@ -174,14 +230,24 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue.  O(1)."""
+        return self._live
 
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or None if the queue is empty."""
-        for event in sorted(self._queue):
-            if not event.cancelled:
-                return event.time
+        """Time of the next pending event, or None if the queue is empty.
+
+        Cancelled events sitting at the head are discarded lazily, so a
+        scenario polling ``peek`` in a loop stays O(log n) amortised instead
+        of sorting the queue on every call.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[3].cancelled:
+                heappop(queue)
+                entry[3]._in_queue = False
+                continue
+            return entry[0]
         return None
 
     # ------------------------------------------------------------- processes

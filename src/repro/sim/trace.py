@@ -3,12 +3,20 @@
 Traces are the raw material for every experiment metric in this repository:
 drug concentration curves, SpO2 series, alarm events, pump commands, and so
 on are all recorded here and post-processed by :mod:`repro.analysis`.
+
+Hot-path layout: each signal is a pair of growable parallel lists (times,
+values) held in a ``__slots__`` buffer, so :meth:`TraceRecorder.record` is
+two list appends.  The numpy conversions behind :meth:`times` /
+:meth:`values` are cached per signal and invalidated on write — analysis
+code calls them repeatedly per run, and rebuilding the arrays each call
+dominated metric collection on large traces.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,17 +31,83 @@ class TracePoint:
     source: str = ""
 
 
+class _SignalBuffer:
+    """Growable per-signal sample storage with cached array conversions."""
+
+    __slots__ = ("times", "values", "_times_arr", "_values_arr")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.values: List[Any] = []
+        self._times_arr: Optional[np.ndarray] = None
+        self._values_arr: Optional[np.ndarray] = None
+
+    def invalidate(self) -> None:
+        self._times_arr = None
+        self._values_arr = None
+
+    def times_array(self) -> np.ndarray:
+        arr = self._times_arr
+        if arr is None:
+            arr = np.asarray(self.times, dtype=float)
+            arr.flags.writeable = False  # shared cache: mutation would corrupt it
+            self._times_arr = arr
+        return arr
+
+    def values_array(self) -> np.ndarray:
+        arr = self._values_arr
+        if arr is None:
+            arr = np.asarray(self.values, dtype=float)
+            arr.flags.writeable = False
+            self._values_arr = arr
+        return arr
+
+
+_EMPTY = np.array([], dtype=float)
+_EMPTY.flags.writeable = False
+
+
 class TraceRecorder:
     """Collects samples and discrete events emitted during a simulation run."""
 
     def __init__(self) -> None:
-        self._signals: Dict[str, List[Tuple[float, Any]]] = {}
+        self._signals: Dict[str, _SignalBuffer] = {}
         self._events: List[TracePoint] = []
 
     # -------------------------------------------------------------- recording
     def record(self, time: float, signal: str, value: Any, source: str = "") -> None:
         """Append a sample of ``signal`` at ``time``."""
-        self._signals.setdefault(signal, []).append((float(time), value))
+        buffer = self._signals.get(signal)
+        if buffer is None:
+            buffer = self._signals[signal] = _SignalBuffer()
+        buffer.times.append(float(time))
+        buffer.values.append(value)
+        buffer._times_arr = None
+        buffer._values_arr = None
+
+    def record_many(
+        self,
+        signal: str,
+        times: Sequence[float],
+        values: Sequence[Any],
+        source: str = "",
+    ) -> None:
+        """Bulk-append samples of ``signal`` (periodic samplers, resamplers)."""
+        if len(times) != len(values):
+            raise ValueError(
+                f"record_many needs equal-length sequences, got "
+                f"{len(times)} times and {len(values)} values"
+            )
+        if len(times) == 0:  # not `not times`: numpy arrays reject bool()
+            return
+        if isinstance(values, np.ndarray):
+            values = values.tolist()  # np scalars would break to_dict() JSON
+        buffer = self._signals.get(signal)
+        if buffer is None:
+            buffer = self._signals[signal] = _SignalBuffer()
+        buffer.times.extend(float(t) for t in times)
+        buffer.values.extend(values)
+        buffer.invalidate()
 
     def event(self, time: float, signal: str, value: Any = None, source: str = "") -> None:
         """Record a discrete event (alarm raised, pump stopped, ...)."""
@@ -45,27 +119,45 @@ class TraceRecorder:
 
     def samples(self, signal: str) -> List[Tuple[float, Any]]:
         """All samples of ``signal`` in recording order."""
-        return list(self._signals.get(signal, []))
+        buffer = self._signals.get(signal)
+        if buffer is None:
+            return []
+        return list(zip(buffer.times, buffer.values))
 
     def times(self, signal: str) -> np.ndarray:
-        return np.array([t for t, _ in self._signals.get(signal, [])], dtype=float)
+        """Sample times as a float array (cached; treat as read-only)."""
+        buffer = self._signals.get(signal)
+        if buffer is None:
+            return _EMPTY
+        return buffer.times_array()
 
     def values(self, signal: str) -> np.ndarray:
-        return np.array([v for _, v in self._signals.get(signal, [])], dtype=float)
+        """Sample values as a float array (cached; treat as read-only)."""
+        buffer = self._signals.get(signal)
+        if buffer is None:
+            return _EMPTY
+        return buffer.values_array()
 
     def last(self, signal: str) -> Optional[Tuple[float, Any]]:
-        samples = self._signals.get(signal)
-        return samples[-1] if samples else None
+        buffer = self._signals.get(signal)
+        if buffer is None or not buffer.times:
+            return None
+        return (buffer.times[-1], buffer.values[-1])
 
     def value_at(self, signal: str, time: float) -> Optional[Any]:
-        """Most recent sample of ``signal`` at or before ``time``."""
-        best = None
-        for t, v in self._signals.get(signal, []):
-            if t <= time:
-                best = v
-            else:
-                break
-        return best
+        """Most recent sample of ``signal`` at or before ``time``.
+
+        Samples are recorded in nondecreasing time order (the simulator clock
+        never goes backwards and :meth:`merge` re-sorts), so this is a binary
+        search rather than a scan.
+        """
+        buffer = self._signals.get(signal)
+        if buffer is None:
+            return None
+        index = bisect.bisect_right(buffer.times, time) - 1
+        if index < 0:
+            return None
+        return buffer.values[index]
 
     def events(self, signal: Optional[str] = None) -> List[TracePoint]:
         if signal is None:
@@ -91,13 +183,17 @@ class TraceRecorder:
         return self._duration_where(signal, lambda v: v < threshold)
 
     def _duration_where(self, signal: str, predicate) -> float:
-        samples = self._signals.get(signal, [])
-        if len(samples) < 2:
+        buffer = self._signals.get(signal)
+        if buffer is None or len(buffer.times) < 2:
             return 0.0
+        times = buffer.times
+        values = buffer.values
         total = 0.0
-        for (t0, v0), (t1, _v1) in zip(samples, samples[1:]):
-            if predicate(v0):
-                total += t1 - t0
+        # Sequential accumulation on purpose: a vectorised sum would change
+        # rounding and break byte-identical run records across versions.
+        for i in range(len(times) - 1):
+            if predicate(values[i]):
+                total += times[i + 1] - times[i]
         return total
 
     def max(self, signal: str) -> float:
@@ -121,7 +217,10 @@ class TraceRecorder:
     def to_dict(self) -> Dict[str, Any]:
         """Serialisable snapshot (used by EXPERIMENTS.md generation and tests)."""
         return {
-            "signals": {name: list(samples) for name, samples in self._signals.items()},
+            "signals": {
+                name: list(zip(buffer.times, buffer.values))
+                for name, buffer in self._signals.items()
+            },
             "events": [
                 {"time": e.time, "signal": e.signal, "value": e.value, "source": e.source}
                 for e in self._events
@@ -130,14 +229,21 @@ class TraceRecorder:
 
     def merge(self, other: "TraceRecorder") -> None:
         """Fold another recorder's data into this one (used by scenario composition)."""
-        for name, samples in other._signals.items():
-            self._signals.setdefault(name, []).extend(samples)
-            self._signals[name].sort(key=lambda sample: sample[0])
+        for name, other_buffer in other._signals.items():
+            buffer = self._signals.get(name)
+            if buffer is None:
+                buffer = self._signals[name] = _SignalBuffer()
+            combined = list(zip(buffer.times, buffer.values))
+            combined.extend(zip(other_buffer.times, other_buffer.values))
+            combined.sort(key=lambda sample: sample[0])
+            buffer.times = [t for t, _ in combined]
+            buffer.values = [v for _, v in combined]
+            buffer.invalidate()
         self._events.extend(other._events)
         self._events.sort(key=lambda e: e.time)
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._signals.values()) + len(self._events)
+        return sum(len(buffer.times) for buffer in self._signals.values()) + len(self._events)
 
 
 def resample(samples: Iterable[Tuple[float, float]], times: np.ndarray) -> np.ndarray:

@@ -1,0 +1,186 @@
+"""Shared deterministic workloads for golden-trace regression tests.
+
+These workloads pin the kernel's determinism contract across rewrites: the
+digests they produce were captured on the seed kernel (``tests/data/
+golden_traces.json``) and every future kernel must reproduce them exactly —
+same ``(time, priority, sequence)`` execution order, same ``pending()`` /
+``peek()`` observations, same scenario result bytes.
+
+Only public API is used, so the workloads themselves never need to change
+when kernel internals do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from pathlib import Path
+from typing import Any, Dict
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_traces.json"
+
+#: Small-but-complete campaign specs for all five registered scenarios.
+SCENARIO_SPECS: Dict[str, Dict[str, Any]] = {
+    "pca": dict(
+        name="golden-pca",
+        scenario="pca",
+        parameters={"mode": ["open_loop", "closed_loop"], "duration_s": 600.0},
+        cohort_size=2,
+        base_seed=123,
+    ),
+    "xray_vent": dict(
+        name="golden-xray",
+        scenario="xray_vent",
+        parameters={"mode": ["manual", "state_broadcast"], "image_requests": 3},
+        base_seed=5,
+    ),
+    "bed_map": dict(
+        name="golden-bed-map",
+        scenario="bed_map",
+        parameters={"use_context_awareness": [True, False],
+                    "duration_s": 3600.0, "bed_moves": 2},
+        base_seed=5,
+    ),
+    "proton": dict(
+        name="golden-proton",
+        scenario="proton",
+        parameters={"rooms": [2], "fractions_per_room": 2, "duration_s": 1200.0},
+        base_seed=5,
+    ),
+    "home": dict(
+        name="golden-home",
+        scenario="home",
+        parameters={"mode": ["store_and_forward", "real_time"],
+                    "duration_s": 7200.0, "sample_period_s": 120.0},
+        base_seed=5,
+    ),
+}
+
+
+def _digest(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def kernel_workload() -> Dict[str, Any]:
+    """A synthetic workload covering every ordering-sensitive kernel path.
+
+    Mixes time collisions, priorities, cancellations (before execution, of
+    periodic tasks, and of decoys observed through ``peek``), nested
+    scheduling from callbacks, and segmented execution via ``run(until=)``,
+    ``step()``, and ``run(max_events=)``.  Each executed event appends
+    ``(now, name, pending, peek)`` to a log; the digest of that log *is*
+    the determinism contract.
+    """
+    from repro.sim.kernel import Simulator
+
+    rng = random.Random(20260729)
+    sim = Simulator()
+    log = []
+
+    def note(name: str) -> None:
+        peek = sim.peek()
+        log.append((sim.now, name, sim.pending(), peek))
+
+    # Colliding times with mixed priorities; every fourth event is cancelled.
+    decoys = []
+    for i in range(400):
+        time = rng.randrange(0, 50) * 0.25
+        priority = rng.choice([-2, -1, 0, 0, 1, 3])
+        event = sim.schedule_at(time, (lambda i=i: note(f"grid-{i}")),
+                                priority=priority, name=f"grid-{i}")
+        if i % 4 == 0:
+            decoys.append(event)
+    for event in decoys:
+        event.cancel()
+        event.cancel()  # double-cancel must be a no-op
+
+    # Nested scheduling: callbacks that schedule (and sometimes cancel) more.
+    def spawner(depth: int):
+        def callback() -> None:
+            note(f"spawn-{depth}")
+            if depth > 0:
+                sim.schedule(0.5, spawner(depth - 1), name=f"spawn-{depth - 1}")
+                victim = sim.schedule(0.25, lambda: note("never"), name="victim")
+                victim.cancel()
+        return callback
+
+    sim.schedule(1.0, spawner(6), name="spawn-6")
+
+    # Periodic tasks, one cancelled mid-run and one self-cancelling.
+    tick_task = sim.call_every(0.75, lambda: note("tick"), name="tick")
+    limited_ticks = []
+
+    def limited() -> None:
+        note("limited")
+        limited_ticks.append(sim.now)
+        if len(limited_ticks) == 5:
+            limited_task.cancel()
+
+    limited_task = sim.call_every(1.25, limited, name="limited")
+    sim.schedule(6.0, tick_task.cancel, name="cancel-tick")
+
+    # Segmented execution: until-bound, single steps, max_events, then drain.
+    sim.run(until=3.0)
+    note("after-until")
+    sim.step()
+    sim.step()
+    note("after-steps")
+    sim.run(max_events=sim.event_count + 100)
+    note("after-max-events")
+    sim.run(until=40.0)
+    note("drained")
+
+    return {
+        "digest": _digest(log),
+        "event_count": sim.event_count,
+        "final_now": sim.now,
+        "log_length": len(log),
+    }
+
+
+def pca_system_probe() -> Dict[str, Any]:
+    """One direct closed-loop PCA run: event count + full trace digest."""
+    from repro.core.loop import ClosedLoopPCASystem, PCASystemConfig
+
+    config = PCASystemConfig(mode="closed_loop", duration_s=1800.0, seed=424242)
+    system = ClosedLoopPCASystem(config)
+    result = system.run()
+    return {
+        "event_count": system.simulator.event_count,
+        "trace_digest": _digest(system.trace.to_dict()),
+        "record_digest": _digest(result.as_record()),
+    }
+
+
+def campaign_results_digest(scenario_key: str, directory) -> str:
+    """Finalized ``results.jsonl`` byte digest for one golden campaign."""
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(**SCENARIO_SPECS[scenario_key])
+    run_campaign(spec, workers=1, directory=directory)
+    data = (Path(directory) / "results.jsonl").read_bytes()
+    return hashlib.sha256(data).hexdigest()
+
+
+def capture() -> Dict[str, Any]:
+    """Compute the full golden payload (used by the capture script)."""
+    import tempfile
+
+    golden: Dict[str, Any] = {
+        "kernel_workload": kernel_workload(),
+        "pca_system": pca_system_probe(),
+        "campaigns": {},
+    }
+    for key in SCENARIO_SPECS:
+        with tempfile.TemporaryDirectory() as tmp:
+            golden["campaigns"][key] = campaign_results_digest(key, tmp)
+    return golden
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(capture(), indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")

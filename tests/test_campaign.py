@@ -1,8 +1,11 @@
 """Tests for the population-scale campaign subsystem."""
 
+import hashlib
 import json
 
 import pytest
+
+from golden_workload import GOLDEN_PATH, SCENARIO_SPECS
 
 from repro.campaign import (
     CampaignEngine,
@@ -305,6 +308,35 @@ class TestEngine:
             run_campaign(spec)
 
 
+class TestGoldenScenarioTraces:
+    """All five scenarios must produce seed-identical result bytes.
+
+    The digests in ``tests/data/golden_traces.json`` were captured on the
+    seed (pre-rewrite) kernel/trace/engine; every hot-path change since must
+    leave the finalized ``results.jsonl`` byte-for-byte unchanged.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())["campaigns"]
+
+    @pytest.mark.parametrize("scenario_key", sorted(SCENARIO_SPECS))
+    def test_campaign_results_match_seed_bytes(self, scenario_key, golden, tmp_path):
+        spec = CampaignSpec(**SCENARIO_SPECS[scenario_key])
+        run_campaign(spec, workers=1, directory=tmp_path)
+        digest = hashlib.sha256((tmp_path / "results.jsonl").read_bytes()).hexdigest()
+        assert digest == golden[scenario_key]
+
+    def test_parallel_chunked_buffered_results_match_seed_bytes(self, golden, tmp_path):
+        # The perf knobs (pool initializer, chunksize, buffered flushes) must
+        # not leak into the results: same bytes as the seed's serial path.
+        spec = CampaignSpec(**SCENARIO_SPECS["pca"])
+        run_campaign(spec, workers=2, directory=tmp_path,
+                     chunksize=2, flush_every=16)
+        digest = hashlib.sha256((tmp_path / "results.jsonl").read_bytes()).hexdigest()
+        assert digest == golden["pca"]
+
+
 class TestStore:
     def test_load_results_round_trips(self, tmp_path):
         report = run_campaign(tiny_spec(), workers=1, directory=tmp_path)
@@ -335,6 +367,83 @@ class TestStore:
         manifest = ResultStore(tmp_path).load_manifest()
         assert manifest["spec"] == spec.as_dict()
         assert len(manifest["runs"]) == 4
+
+
+    def test_append_holds_one_persistent_handle(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append({"run_index": 0})
+        handle = store._handle
+        assert handle is not None
+        store.append({"run_index": 1})
+        assert store._handle is handle  # no reopen per record
+        store.close()
+        assert store._handle is None
+        assert len(store.records()) == 2
+
+    def test_flush_every_batches_fsyncs_but_records_flushes_on_read(self, tmp_path):
+        store = ResultStore(tmp_path, flush_every=100)
+        for index in range(5):
+            store.append({"run_index": index})
+        # records() must see buffered appends (it flushes before reading).
+        assert len(store.records()) == 5
+        store.close()
+        assert len(load_results(tmp_path)) == 5
+
+    def test_close_is_idempotent_and_append_reopens(self, tmp_path):
+        store = ResultStore(tmp_path, flush_every=10)
+        store.append({"run_index": 0})
+        store.close()
+        store.close()
+        store.append({"run_index": 1})
+        store.close()
+        assert [r["run_index"] for r in store.records()] == [0, 1]
+
+    def test_repair_with_open_buffered_handle(self, tmp_path):
+        # repair() atomically replaces the file; a stale open handle would
+        # keep appending to the orphaned inode and silently lose records.
+        store = ResultStore(tmp_path, flush_every=10)
+        store.append({"run_index": 0})
+        store.flush()
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write('{"run_index": 1, "torn')
+        assert store.repair() == 1
+        store.append({"run_index": 2})
+        store.close()
+        assert [r["run_index"] for r in store.records()] == [0, 2]
+
+    def test_invalid_flush_every_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            ResultStore(tmp_path, flush_every=0)
+
+
+class TestEngineKnobs:
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignEngine(tiny_spec(), chunksize=0)
+
+    def test_explicit_chunksize_and_flush_every_keep_records_identical(self, tmp_path):
+        reference = run_campaign(tiny_spec())
+        tuned = run_campaign(tiny_spec(), workers=2, directory=tmp_path,
+                             chunksize=3, flush_every=4)
+        assert tuned.records == reference.records
+
+    def test_flush_every_survives_a_failing_run(self, tmp_path):
+        # The engine's deterministic close must push buffered records to disk
+        # even when a run raises mid-campaign, so resume skips finished work.
+        spec = tiny_spec(parameters={"mode": ["open_loop", "sideways_loop"],
+                                     **SHORT_PCA})
+        with pytest.raises(CampaignError):
+            run_campaign(spec, workers=1, directory=tmp_path, flush_every=50)
+        assert len(load_results(tmp_path)) > 0
+
+    def test_cli_chunksize_and_flush_every_flags(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec().as_dict()))
+        out_dir = tmp_path / "out"
+        assert campaign_main(["run", str(spec_path), "--workers", "2",
+                              "--chunksize", "2", "--flush-every", "8",
+                              "--out", str(out_dir), "--quiet"]) == 0
+        assert len(load_results(out_dir)) == 4
 
 
 class TestAggregation:

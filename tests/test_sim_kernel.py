@@ -1,7 +1,10 @@
 """Tests for the discrete-event simulation kernel."""
 
+import json
+
 import pytest
 
+from golden_workload import GOLDEN_PATH, kernel_workload, pca_system_probe
 from repro.sim.kernel import Process, SimulationError, Simulator, build_simulator
 
 
@@ -278,6 +281,68 @@ class TestProcess:
         process = _CountingProcess()
         simulator.register(process)
         assert process in simulator.processes
+
+
+class TestQueueIntrospection:
+    def test_cancel_is_reflected_in_pending_immediately(self, simulator):
+        events = [simulator.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert simulator.pending() == 5
+        events[0].cancel()
+        events[3].cancel()
+        assert simulator.pending() == 3
+        events[3].cancel()  # double-cancel must not double-decrement
+        assert simulator.pending() == 3
+
+    def test_cancel_after_execution_does_not_corrupt_pending(self, simulator):
+        first = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        simulator.step()
+        first.cancel()  # already executed: a no-op for the queue accounting
+        assert simulator.pending() == 1
+
+    def test_peek_skips_cancelled_heads_without_sorting(self, simulator):
+        victims = [simulator.schedule(1.0, lambda: None) for _ in range(50)]
+        simulator.schedule(9.0, lambda: None, name="survivor")
+        for event in victims:
+            event.cancel()
+        assert simulator.peek() == 9.0
+        # The lazy discard physically drops the cancelled heads, so repeated
+        # polling stays O(1) instead of rescanning them every call.
+        assert len(simulator._queue) == 1
+        assert simulator.pending() == 1
+
+    def test_peek_does_not_disturb_execution_order(self, simulator):
+        order = []
+        simulator.schedule(2.0, lambda: order.append("b"))
+        decoy = simulator.schedule(1.0, lambda: order.append("decoy"))
+        decoy.cancel()
+        assert simulator.peek() == 2.0
+        simulator.run()
+        assert order == ["b"]
+        assert simulator.peek() is None
+
+
+class TestGoldenDeterminism:
+    """The kernel rewrite must be byte-identical to the seed kernel.
+
+    The digests in ``tests/data/golden_traces.json`` were captured on the
+    seed (pre-rewrite) kernel; these tests replay the same workloads through
+    the current kernel and require identical execution logs, event counts,
+    and trace snapshots.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_synthetic_workload_matches_seed_kernel(self, golden):
+        assert kernel_workload() == golden["kernel_workload"]
+
+    def test_closed_loop_pca_system_matches_seed_kernel(self, golden):
+        probe = pca_system_probe()
+        assert probe["event_count"] == golden["pca_system"]["event_count"]
+        assert probe["trace_digest"] == golden["pca_system"]["trace_digest"]
+        assert probe["record_digest"] == golden["pca_system"]["record_digest"]
 
 
 class TestFactory:

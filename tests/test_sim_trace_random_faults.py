@@ -91,6 +91,70 @@ class TestTraceRecorder:
         values = resample([], np.array([0.0, 1.0]))
         assert np.isnan(values).all()
 
+    def test_record_many_bulk_append(self, trace):
+        trace.record(0.0, "spo2", 99.0)
+        trace.record_many("spo2", [1.0, 2.0, 3.0], [98.0, 97.0, 96.0])
+        assert trace.samples("spo2") == [(0.0, 99.0), (1.0, 98.0),
+                                         (2.0, 97.0), (3.0, 96.0)]
+        assert list(trace.times("spo2")) == [0.0, 1.0, 2.0, 3.0]
+        assert len(trace) == 4
+
+    def test_record_many_accepts_numpy_arrays(self, trace):
+        # Regression: the emptiness guard used `not times`, which raises on
+        # multi-element ndarrays — the primary bulk-sampler input type.
+        trace.record_many("x", np.array([1.0, 2.0]), np.array([10.0, 20.0]))
+        trace.record_many("x", np.array([]), np.array([]))
+        assert trace.samples("x") == [(1.0, 10.0), (2.0, 20.0)]
+        # ndarray values must land as Python floats, or to_dict() stops
+        # being JSON-serialisable.
+        import json as json_module
+        json_module.dumps(trace.to_dict())
+
+    def test_record_many_new_signal_and_empty(self, trace):
+        trace.record_many("fresh", [], [])
+        assert trace.samples("fresh") == []
+        trace.record_many("fresh", (0.5,), (1.0,))
+        assert trace.last("fresh") == (0.5, 1.0)
+
+    def test_record_many_length_mismatch_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.record_many("x", [1.0, 2.0], [1.0])
+
+    def test_times_values_arrays_are_cached_until_write(self, trace):
+        trace.record(0.0, "x", 1.0)
+        trace.record(1.0, "x", 2.0)
+        first = trace.values("x")
+        assert trace.values("x") is first  # cached between reads
+        assert trace.times("x") is trace.times("x")
+        trace.record(2.0, "x", 3.0)
+        second = trace.values("x")
+        assert second is not first  # invalidated by the write
+        assert list(second) == [1.0, 2.0, 3.0]
+        trace.record_many("x", [3.0], [4.0])
+        assert list(trace.values("x")) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cached_arrays_are_read_only(self, trace):
+        trace.record(0.0, "x", 1.0)
+        values = trace.values("x")
+        with pytest.raises(ValueError):
+            values[0] = 99.0  # mutating the shared cache would corrupt it
+
+    def test_merge_invalidates_caches(self, trace):
+        trace.record(2.0, "x", 2.0)
+        stale = trace.values("x")
+        other = TraceRecorder()
+        other.record(1.0, "x", 1.0)
+        trace.merge(other)
+        assert list(trace.values("x")) == [1.0, 2.0]
+        assert list(stale) == [2.0]  # the old array is simply detached
+
+    def test_missing_signal_queries(self, trace):
+        assert trace.samples("nope") == []
+        assert trace.times("nope").size == 0
+        assert trace.values("nope").size == 0
+        assert trace.last("nope") is None
+        assert trace.value_at("nope", 1.0) is None
+
 
 class TestRandomStreams:
     def test_same_name_same_stream_object(self):
