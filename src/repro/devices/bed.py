@@ -44,6 +44,8 @@ class HospitalBed(MedicalDevice):
         self.motion_duration_s = motion_duration_s
         self.height_cm = 0.0
         self.moves = 0
+        self._declare_signals("height_cm")
+        self._declare_events("bed_move")
         self.register_command("set_height", self._command_set_height)
 
     def start(self) -> None:

@@ -50,11 +50,13 @@ class BloodPressureMonitor(MedicalDevice):
         self.patient = patient
         self.readings_published = 0
         self._zero_offset_mmhg = 0.0
+        self._declare_signals("map_reading")
+        self._declare_events("rezeroed")
         self.register_command("rezero", self._command_rezero)
 
     def start(self) -> None:
         self.transition(DeviceState.RUNNING)
-        self.every(self.config.sample_period_s, self._sample)
+        self.sample_every(self.config.sample_period_s, self._sample)
 
     def _sample(self) -> None:
         if not self.is_operational:

@@ -64,10 +64,12 @@ class Capnograph(MedicalDevice):
         self._frozen = False
         self._frozen_rr: Optional[float] = None
         self.readings_published = 0
+        self._declare_signals("respiratory_rate_reading", "etco2_reading")
+        self._declare_events("sensor_frozen")
 
     def start(self) -> None:
         self.transition(DeviceState.RUNNING)
-        self.every(self.config.sample_period_s, self._sample)
+        self.sample_every(self.config.sample_period_s, self._sample)
 
     def _sample(self) -> None:
         if not self.is_operational:

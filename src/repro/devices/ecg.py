@@ -59,10 +59,12 @@ class ECGMonitor(MedicalDevice):
         self._rng = rng
         self._lead_off = False
         self.readings_published = 0
+        self._declare_signals("ecg_heart_rate_reading")
+        self._declare_events("lead_off")
 
     def start(self) -> None:
         self.transition(DeviceState.RUNNING)
-        self.every(self.config.sample_period_s, self._sample)
+        self.sample_every(self.config.sample_period_s, self._sample)
 
     def _sample(self) -> None:
         if not self.is_operational:

@@ -99,6 +99,9 @@ class PCAPump(MedicalDevice):
         self.proxy_requests = 0
         self._last_bolus_time: Optional[float] = None
         self._concentration_error = 1.0
+        self._declare_signals("stopped")
+        self._declare_events("bolus_delivered", "stopped_by_supervisor",
+                             "resumed_by_supervisor", "misprogrammed")
         self.register_command("stop", self._command_stop)
         self.register_command("resume", self._command_resume)
         self.register_command("set_prescription", self._command_set_prescription)
@@ -107,7 +110,7 @@ class PCAPump(MedicalDevice):
     def start(self) -> None:
         self.transition(DeviceState.RUNNING)
         self._apply_basal_rate()
-        self.every(10.0, self._publish_status)
+        self.sample_every(10.0, self._publish_status)
 
     def _publish_status(self) -> None:
         if not self.is_operational:

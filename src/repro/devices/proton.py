@@ -99,6 +99,9 @@ class ProtonTherapySystem(MedicalDevice):
         self.motion_cutoffs: List[float] = []
         self.beam_busy_s = 0.0
         self.switch_count = 0
+        self._declare_events("request_submitted", "delivery_started",
+                             "delivery_completed", "delivery_aborted",
+                             "patient_motion", "emergency_shutdown")
         self.register_command("emergency_shutdown", lambda params: self.emergency_shutdown())
 
     # ------------------------------------------------------------- lifecycle

@@ -11,15 +11,64 @@ artefacts are available for the fault-injection and smart-alarm experiments.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.devices.base import DeviceDescriptor, DeviceState, MedicalDevice
 from repro.patient.model import PatientModel
 from repro.sim.trace import TraceRecorder
+
+
+class _RollingMean:
+    """Fixed-size chronological sample window with a cached numpy mean.
+
+    Replaces the ``deque`` + ``np.mean(deque)`` pair: converting the deque
+    to an array on every read dominated the oximeter's sample cost.  Samples
+    live in a preallocated float64 array kept in chronological order (the
+    shift is a C-level memmove over a handful of elements), so the mean is
+    bit-identical to ``np.mean`` over the equivalent deque, and it is
+    computed at most once per appended sample.
+    """
+
+    __slots__ = ("_buffer", "_count", "_mean")
+
+    def __init__(self, size: int) -> None:
+        self._buffer = np.empty(size, dtype=float)
+        self._count = 0
+        self._mean: Optional[float] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, value: float) -> None:
+        buffer = self._buffer
+        if self._count < buffer.shape[0]:
+            buffer[self._count] = value
+            self._count += 1
+        else:
+            buffer[:-1] = buffer[1:]
+            buffer[-1] = value
+        self._mean = None
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            return float("nan")
+        mean = self._mean
+        if mean is None:
+            mean = self._mean = float(self._buffer[:self._count].mean())
+        return mean
+
+    def clear(self) -> None:
+        self._count = 0
+        self._mean = None
+
+    def bias(self, offset: float) -> None:
+        """Add ``offset`` to every held sample (value-corruption faults)."""
+        self._buffer[:self._count] += offset
+        self._mean = None
 
 
 @dataclass
@@ -79,17 +128,19 @@ class PulseOximeter(MedicalDevice):
         self.config.validate()
         self.patient = patient
         self._rng = rng
-        self._spo2_window: Deque[float] = deque(maxlen=self.config.averaging_window_samples)
-        self._hr_window: Deque[float] = deque(maxlen=self.config.averaging_window_samples)
+        self._spo2_window = _RollingMean(self.config.averaging_window_samples)
+        self._hr_window = _RollingMean(self.config.averaging_window_samples)
         self._frozen = False
         self._probe_off = False
         self._frozen_values: Optional[Tuple[float, float]] = None
         self.readings_published = 0
+        self._declare_signals("spo2_reading", "heart_rate_reading")
+        self._declare_events("sensor_frozen", "probe_off")
 
     # --------------------------------------------------------------- process
     def start(self) -> None:
         self.transition(DeviceState.RUNNING)
-        self.every(self.config.sample_period_s, self._sample)
+        self.sample_every(self.config.sample_period_s, self._sample)
 
     def _sample(self) -> None:
         if not self.is_operational:
@@ -130,15 +181,11 @@ class PulseOximeter(MedicalDevice):
     @property
     def current_spo2(self) -> float:
         """Moving-average SpO2 as the device would display it."""
-        if not self._spo2_window:
-            return float("nan")
-        return float(np.mean(self._spo2_window))
+        return self._spo2_window.mean
 
     @property
     def current_heart_rate(self) -> float:
-        if not self._hr_window:
-            return float("nan")
-        return float(np.mean(self._hr_window))
+        return self._hr_window.mean
 
     # ----------------------------------------------------------- fault hooks
     def freeze(self) -> None:
@@ -165,9 +212,5 @@ class PulseOximeter(MedicalDevice):
 
     def corrupt(self, spo2_offset: float = 0.0, heart_rate_offset: float = 0.0, **_ignored) -> None:
         """Value-corruption fault hook: bias the averaging windows."""
-        self._spo2_window = deque(
-            (v + spo2_offset for v in self._spo2_window), maxlen=self.config.averaging_window_samples
-        )
-        self._hr_window = deque(
-            (v + heart_rate_offset for v in self._hr_window), maxlen=self.config.averaging_window_samples
-        )
+        self._spo2_window.bias(spo2_offset)
+        self._hr_window.bias(heart_rate_offset)

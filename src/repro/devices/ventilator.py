@@ -98,6 +98,8 @@ class Ventilator(MedicalDevice):
         self.held_since: Optional[float] = None
         self.breaths_delivered = 0
         self.hold_history: List[Tuple[float, Optional[float]]] = []  # (pause_time, resume_time)
+        self._declare_signals("breath_phase")
+        self._declare_events("held")
         self.register_command("pause", self._command_pause)
         self.register_command("resume", self._command_resume)
 
@@ -108,7 +110,7 @@ class Ventilator(MedicalDevice):
         self.phase_started_at = self.now
         self.after(self.settings.inhale_duration_s, self._next_phase)
         if self.broadcast_state:
-            self.every(self.state_broadcast_period_s, self._broadcast)
+            self.sample_every(self.state_broadcast_period_s, self._broadcast)
 
     def _next_phase(self) -> None:
         if self.crashed or self.phase == BreathPhase.HELD:

@@ -99,6 +99,8 @@ class XRayMachine(MedicalDevice):
         self.pending_request = False
         self._latest_vent_state: Optional[Dict[str, Any]] = None
         self._latest_vent_state_received_at: Optional[float] = None
+        self._declare_events("image_requested", "image_taken",
+                             "pause_failed", "resume_failed")
         self.register_command("take_image", lambda params: self.request_image())
 
     # ------------------------------------------------------------- lifecycle

@@ -17,6 +17,29 @@ from repro.sim.channel import Channel, ChannelConfig, Message
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
 
+#: Topic prefix reserved for the reverse (command) path.  Command messages
+#: ride the device uplink but must never enter the pub/sub forwarding path.
+COMMAND_TOPIC_PREFIX = "__command__:"
+
+
+class Envelope:
+    """Bus forwarding envelope: the original payload plus its publish time.
+
+    One envelope is built per forwarded message (shared by every subscriber
+    copy) on the simulation's hottest messaging path; a slotted class keeps
+    that cheaper than a fresh two-key dict per subscriber and makes the
+    contract explicit.  Treat instances as immutable.
+    """
+
+    __slots__ = ("payload", "published_at")
+
+    def __init__(self, payload: Any, published_at: float) -> None:
+        self.payload = payload
+        self.published_at = published_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Envelope published_at={self.published_at} {self.payload!r}>"
+
 
 @dataclass
 class BusConfig:
@@ -121,6 +144,12 @@ class DeviceBus:
 
     def _on_uplink_message(self, message: Message) -> None:
         """Uplink delivery: forward to each subscriber after bus processing delay."""
+        if message.topic.startswith(COMMAND_TOPIC_PREFIX):
+            # Commands ride the uplink in reverse and are delivered by their
+            # own topic subscription in send_command(); forwarding them here
+            # would schedule one phantom kernel event per command that fans
+            # out to nobody.
+            return
         self.simulator.schedule(
             self.config.processing_delay_s,
             lambda: self._forward(message),
@@ -131,18 +160,22 @@ class DeviceBus:
         # Deliver one copy per subscribed endpoint; the endpoint's downlink
         # channel then fans the message out to the handlers registered at
         # subscribe() time.  The original publish time travels in the
-        # envelope for end-to-end latency accounting.
-        endpoints = {endpoint_id for endpoint_id, _ in self._subscriptions.get(message.topic, [])}
+        # envelope for end-to-end latency accounting.  Dedup with
+        # dict.fromkeys, NOT a set: subscription (insertion) order makes
+        # delivery order — and hence downlink sequence numbers and kernel
+        # tiebreaks — independent of PYTHONHASHSEED.
+        endpoints = dict.fromkeys(
+            endpoint_id for endpoint_id, _ in self._subscriptions.get(message.topic, ())
+        )
+        if not endpoints:
+            return
+        envelope = Envelope(message.payload, message.sent_at)
         for endpoint_id in endpoints:
             downlink = self._downlinks.get(endpoint_id)
             if downlink is None:
                 continue
             self.forwarded_count += 1
-            downlink.send(
-                message.sender,
-                message.topic,
-                {"payload": message.payload, "published_at": message.sent_at},
-            )
+            downlink.send(message.sender, message.topic, envelope)
 
     # ---------------------------------------------------------- subscribing
     def subscribe(
@@ -162,7 +195,7 @@ class DeviceBus:
 
         def _deliver(message: Message, topic=topic, handler=handler) -> None:
             envelope = message.payload
-            handler(topic, envelope["payload"], message)
+            handler(topic, envelope.payload, message)
 
         downlink.subscribe(_deliver, topic=topic)
         self._subscriptions.setdefault(topic, []).append((endpoint_id, handler))
@@ -187,7 +220,7 @@ class DeviceBus:
         if device is None:
             return False
         channel = self._make_uplink(device_id)
-        command_topic = f"__command__:{device_id}:{command}"
+        command_topic = f"{COMMAND_TOPIC_PREFIX}{device_id}:{command}"
         if command_topic not in self._command_routes:
             def _deliver(message: Message, device=device, command=command) -> None:
                 device.handle_command(command, message.payload)

@@ -82,8 +82,16 @@ class Channel:
 
     Receivers subscribe with :meth:`subscribe`; senders call :meth:`send`.
     Delivery is simulated by scheduling a kernel event after the sampled
-    latency.  Statistics (sent/delivered/dropped counts, latencies) are kept
-    for the delay-budget analyses in :mod:`repro.core.delays`.
+    latency.  Streaming statistics (sent/delivered/dropped counts, mean/max
+    latency) are kept for the delay-budget analyses in
+    :mod:`repro.core.delays`; the full per-message history
+    (:attr:`latencies`, :attr:`delivered_messages`) is only retained when
+    ``retain_messages=True`` — unconditional retention is an O(events)
+    memory leak at campaign scale.
+
+    A config that demands randomness (jitter or loss) without an ``rng`` is
+    rejected at construction time: silently degrading to a deterministic
+    channel would invalidate any loss/jitter experiment built on it.
     """
 
     def __init__(
@@ -92,9 +100,18 @@ class Channel:
         name: str,
         config: Optional[ChannelConfig] = None,
         rng=None,
+        *,
+        retain_messages: bool = False,
     ) -> None:
         config = config or ChannelConfig()
         config.validate()
+        if rng is None and (config.jitter_s > 0 or config.loss_probability > 0):
+            raise ValueError(
+                f"channel {name!r} is configured with randomness "
+                f"(jitter_s={config.jitter_s}, loss_probability="
+                f"{config.loss_probability}) but no rng was provided; "
+                "pass rng= or zero the stochastic parameters"
+            )
         self.simulator = simulator
         self.name = name
         self.config = config
@@ -108,6 +125,12 @@ class Channel:
         self.sent: int = 0
         self.delivered: int = 0
         self.dropped: int = 0
+        # Latency statistics stream (count is `delivered`); the full
+        # per-message history is opt-in — retaining every delivery is an
+        # O(events) memory leak at campaign scale.
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+        self.retain_messages = retain_messages
         self.latencies: List[float] = []
         self.delivered_messages: List[Message] = []
 
@@ -161,22 +184,38 @@ class Channel:
 
     def _sample_latency(self) -> float:
         latency = self.config.latency_s
-        if self.config.jitter_s > 0 and self._rng is not None:
-            latency += self._rng.uniform(-self.config.jitter_s, self.config.jitter_s)
+        if self.config.jitter_s > 0:
+            latency += self._require_rng().uniform(-self.config.jitter_s, self.config.jitter_s)
         return max(0.0, latency)
 
     def _sample_loss(self) -> bool:
         if self.config.loss_probability <= 0:
             return False
-        if self._rng is None:
-            return False
-        return bool(self._rng.random() < self.config.loss_probability)
+        return bool(self._require_rng().random() < self.config.loss_probability)
+
+    def _require_rng(self):
+        # The constructor rejects random configs without an rng; this can
+        # only trip if the config was mutated after construction.  Raising
+        # beats the old silent fallback, which quietly ran loss/jitter
+        # experiments on a deterministic link.
+        rng = self._rng
+        if rng is None:
+            raise ValueError(
+                f"channel {self.name!r} config now demands randomness "
+                "(mutated after construction?) but the channel has no rng"
+            )
+        return rng
 
     def _deliver(self, message: Message) -> None:
         delivered = message.with_delivery(self.simulator.now)
         self.delivered += 1
-        self.latencies.append(delivered.latency or 0.0)
-        self.delivered_messages.append(delivered)
+        latency = delivered.latency or 0.0
+        self._latency_sum += latency
+        if latency > self._latency_max:
+            self._latency_max = latency
+        if self.retain_messages:
+            self.latencies.append(latency)
+            self.delivered_messages.append(delivered)
         # Iterate a pre-built snapshot (updated on (un)subscribe) so handlers
         # mutating subscriptions cannot disturb the in-flight delivery.
         for topic, handler in self._snapshot:
@@ -192,15 +231,13 @@ class Channel:
 
     @property
     def mean_latency(self) -> float:
-        if not self.latencies:
+        if self.delivered == 0:
             return 0.0
-        return sum(self.latencies) / len(self.latencies)
+        return self._latency_sum / self.delivered
 
     @property
     def max_latency(self) -> float:
-        if not self.latencies:
-            return 0.0
-        return max(self.latencies)
+        return self._latency_max
 
     def stats(self) -> Dict[str, float]:
         return {

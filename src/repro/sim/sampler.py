@@ -1,0 +1,179 @@
+"""Fixed-rate sampling backbone shared by devices and the patient model.
+
+Every sensing device in this repository does the same three things on a
+fixed period: run a sampling callback, publish readings, and append samples
+to the :class:`~repro.sim.trace.TraceRecorder`.  Before this module each
+device hand-rolled that loop through :meth:`Process.every` and paid, per
+sample, an f-string to build the full signal name plus a recorder dict
+lookup and cache invalidation.  The backbone hoists all of that out of the
+per-sample path:
+
+* :class:`SignalBatch` -- a slotted pending buffer for one signal whose full
+  name (``"<producer>:<signal>"``) is computed exactly once, at declare time.
+  Recording a sample is two list appends.
+* :class:`BatchedTraceWriter` -- one producer's set of signal batches.  It
+  registers a flush hook with the recorder so any *read* of the trace drains
+  pending batches first (a read barrier); the data a query returns is always
+  complete, no matter when batches were last flushed.
+* :class:`PeriodicSampler` -- owns the reschedule loop (same event pattern
+  and ``run_count`` semantics as :class:`~repro.sim.kernel.PeriodicTask`)
+  and flushes its writer's batches through
+  :meth:`~repro.sim.trace.TraceRecorder.record_many` every ``flush_every``
+  ticks, amortising the recorder work over whole batches.
+
+Determinism: batches preserve per-signal chronological order exactly, and
+``record_many`` appends the very same float objects ``record`` would have,
+so traces produced through the backbone are byte-identical to unbatched
+recording.  The one rule is that each signal must have a single producer
+(already true everywhere: signal names are prefixed with the producer id).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.kernel import PeriodicTask, SimulationError, Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class SignalBatch:
+    """Pending samples of one signal, with the full name precomputed."""
+
+    __slots__ = ("signal", "source", "times", "values")
+
+    def __init__(self, signal: str, source: str = "") -> None:
+        self.signal = signal
+        self.source = source
+        self.times: List[float] = []
+        self.values: List[Any] = []
+
+    def append(self, time: float, value: Any) -> None:
+        """Record one sample: two list appends, nothing else."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<SignalBatch {self.signal!r} pending={len(self.times)}>"
+
+
+class BatchedTraceWriter:
+    """Batched trace front-end for one producer (a device or patient model).
+
+    Signal names are declared once (:meth:`declare`) and every later sample
+    lands in the per-signal batch.  The writer registers itself with the
+    recorder so trace queries drain pending samples before returning.
+    """
+
+    __slots__ = ("trace", "source", "_prefix", "_batches", "_batch_list")
+
+    def __init__(self, trace: TraceRecorder, prefix: str, source: str = "") -> None:
+        self.trace = trace
+        self.source = source
+        self._prefix = prefix
+        self._batches: Dict[str, SignalBatch] = {}
+        self._batch_list: List[SignalBatch] = []
+        trace.register_pending(self.flush)
+
+    def declare(self, signal: str) -> SignalBatch:
+        """Precompute ``"<prefix>:<signal>"`` and return the signal's batch.
+
+        Idempotent; devices call this at attach/init time for their known
+        signals so the hot path never builds a name string.
+        """
+        batch = self._batches.get(signal)
+        if batch is None:
+            batch = SignalBatch(f"{self._prefix}:{signal}", source=self.source)
+            self._batches[signal] = batch
+            self._batch_list.append(batch)
+        return batch
+
+    def record(self, time: float, signal: str, value: Any) -> None:
+        """Append a sample of ``signal`` (short name) at ``time``."""
+        batch = self._batches.get(signal)
+        if batch is None:
+            batch = self.declare(signal)
+        batch.times.append(time)
+        batch.values.append(value)
+
+    def flush(self) -> None:
+        """Drain every non-empty batch into the recorder via ``record_many``."""
+        trace = self.trace
+        for batch in self._batch_list:
+            if batch.times:
+                trace.record_many(batch.signal, batch.times, batch.values,
+                                  source=batch.source)
+                batch.times = []
+                batch.values = []
+
+    def detach(self) -> None:
+        """Flush and unregister from the recorder.
+
+        Called when a producer replaces its writer (e.g. its ``trace``
+        property is reassigned); without it the recorder would keep invoking
+        — and keeping alive — every abandoned writer forever.
+        """
+        self.flush()
+        self.trace.unregister_pending(self.flush)
+
+    @property
+    def pending(self) -> int:
+        """Number of samples not yet flushed into the recorder."""
+        return sum(len(batch.times) for batch in self._batch_list)
+
+
+class PeriodicSampler(PeriodicTask):
+    """A fixed-rate sampling loop with amortised trace flushing.
+
+    Extends :class:`~repro.sim.kernel.PeriodicTask` — the reschedule loop is
+    inherited, so kernel event counts and tie-break ordering are identical
+    to ``call_every`` by construction — and adds: every ``flush_every``
+    ticks the attached :class:`BatchedTraceWriter` is drained through
+    ``record_many``.  A flush never schedules kernel events, so running it
+    after the inherited tick leaves the event stream untouched.
+
+    ``writer`` is a mutable attribute: producers whose ``trace`` is
+    reassigned mid-lifecycle re-point their live samplers at the new writer.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        writer: Optional[BatchedTraceWriter] = None,
+        name: str = "sampler",
+        flush_every: int = 64,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        if flush_every < 1:
+            raise SimulationError(f"flush_every must be >= 1, got {flush_every!r}")
+        super().__init__(simulator, period, callback, name=name)
+        self.writer = writer
+        self.flush_every = flush_every
+        self._ticks_since_flush = 0
+
+    def start(self, first_time: Optional[float] = None) -> "PeriodicSampler":
+        """Schedule the first tick (default: one period from now)."""
+        if first_time is None:
+            first_time = self._simulator.now + self.period
+        super().start(first_time)
+        return self
+
+    def _tick(self) -> None:
+        if self._cancelled:
+            return
+        super()._tick()
+        writer = self.writer
+        if writer is not None:
+            self._ticks_since_flush += 1
+            if self._ticks_since_flush >= self.flush_every:
+                self._ticks_since_flush = 0
+                writer.flush()
+
+    def cancel(self) -> None:
+        """Stop future ticks and flush whatever the loop still holds."""
+        super().cancel()
+        if self.writer is not None:
+            self.writer.flush()

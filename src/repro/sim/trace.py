@@ -10,13 +10,18 @@ two list appends.  The numpy conversions behind :meth:`times` /
 :meth:`values` are cached per signal and invalidated on write — analysis
 code calls them repeatedly per run, and rebuilding the arrays each call
 dominated metric collection on large traces.
+
+Batched producers (the :mod:`repro.sim.sampler` backbone) register a flush
+hook via :meth:`TraceRecorder.register_pending`; every signal query drains
+those hooks first, so readers always observe a complete trace regardless of
+when a producer last flushed its batches.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,6 +78,28 @@ class TraceRecorder:
     def __init__(self) -> None:
         self._signals: Dict[str, _SignalBuffer] = {}
         self._events: List[TracePoint] = []
+        self._pending_flushes: List[Callable[[], None]] = []
+
+    # --------------------------------------------------------- batched writers
+    def register_pending(self, flush: Callable[[], None]) -> None:
+        """Register a batched producer's flush hook (the read barrier).
+
+        Queries call every registered hook before touching signal data, so a
+        producer may hold samples in local batches arbitrarily long without
+        readers ever seeing a stale trace.
+        """
+        self._pending_flushes.append(flush)
+
+    def unregister_pending(self, flush: Callable[[], None]) -> None:
+        """Remove a previously registered flush hook (writer replacement)."""
+        try:
+            self._pending_flushes.remove(flush)
+        except ValueError:
+            pass
+
+    def _drain(self) -> None:
+        for flush in self._pending_flushes:
+            flush()
 
     # -------------------------------------------------------------- recording
     def record(self, time: float, signal: str, value: Any, source: str = "") -> None:
@@ -105,7 +132,9 @@ class TraceRecorder:
         buffer = self._signals.get(signal)
         if buffer is None:
             buffer = self._signals[signal] = _SignalBuffer()
-        buffer.times.extend(float(t) for t in times)
+        # map(float, ...) returns the identical objects for exact floats, so
+        # batched and unbatched recording produce the same trace bytes.
+        buffer.times.extend(map(float, times))
         buffer.values.extend(values)
         buffer.invalidate()
 
@@ -115,10 +144,12 @@ class TraceRecorder:
 
     # ---------------------------------------------------------------- queries
     def signals(self) -> List[str]:
+        self._drain()
         return sorted(self._signals)
 
     def samples(self, signal: str) -> List[Tuple[float, Any]]:
         """All samples of ``signal`` in recording order."""
+        self._drain()
         buffer = self._signals.get(signal)
         if buffer is None:
             return []
@@ -126,6 +157,7 @@ class TraceRecorder:
 
     def times(self, signal: str) -> np.ndarray:
         """Sample times as a float array (cached; treat as read-only)."""
+        self._drain()
         buffer = self._signals.get(signal)
         if buffer is None:
             return _EMPTY
@@ -133,12 +165,14 @@ class TraceRecorder:
 
     def values(self, signal: str) -> np.ndarray:
         """Sample values as a float array (cached; treat as read-only)."""
+        self._drain()
         buffer = self._signals.get(signal)
         if buffer is None:
             return _EMPTY
         return buffer.values_array()
 
     def last(self, signal: str) -> Optional[Tuple[float, Any]]:
+        self._drain()
         buffer = self._signals.get(signal)
         if buffer is None or not buffer.times:
             return None
@@ -151,6 +185,7 @@ class TraceRecorder:
         never goes backwards and :meth:`merge` re-sorts), so this is a binary
         search rather than a scan.
         """
+        self._drain()
         buffer = self._signals.get(signal)
         if buffer is None:
             return None
@@ -183,6 +218,7 @@ class TraceRecorder:
         return self._duration_where(signal, lambda v: v < threshold)
 
     def _duration_where(self, signal: str, predicate) -> float:
+        self._drain()
         buffer = self._signals.get(signal)
         if buffer is None or len(buffer.times) < 2:
             return 0.0
@@ -216,6 +252,7 @@ class TraceRecorder:
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialisable snapshot (used by EXPERIMENTS.md generation and tests)."""
+        self._drain()
         return {
             "signals": {
                 name: list(zip(buffer.times, buffer.values))
@@ -229,6 +266,8 @@ class TraceRecorder:
 
     def merge(self, other: "TraceRecorder") -> None:
         """Fold another recorder's data into this one (used by scenario composition)."""
+        self._drain()
+        other._drain()
         for name, other_buffer in other._signals.items():
             buffer = self._signals.get(name)
             if buffer is None:
@@ -243,6 +282,7 @@ class TraceRecorder:
         self._events.sort(key=lambda e: e.time)
 
     def __len__(self) -> int:
+        self._drain()
         return sum(len(buffer.times) for buffer in self._signals.values()) + len(self._events)
 
 

@@ -140,6 +140,89 @@ def kernel_workload() -> Dict[str, Any]:
     }
 
 
+def bus_workload() -> Dict[str, Any]:
+    """A multi-subscriber, multi-topic bus workload pinning delivery order.
+
+    Several devices publish on overlapping topics to six endpoints whose id
+    strings hash differently under different ``PYTHONHASHSEED`` values, one
+    endpoint subscribes to the same topic twice (the dedup path), and
+    commands are sent mid-run (which must not produce phantom forwards).
+    The digest of the delivery log *is* the messaging determinism contract:
+    it must be identical under every hash seed, which CI enforces by running
+    the suite under two pinned seeds.
+    """
+    from repro.devices.base import DeviceDescriptor, DeviceState, MedicalDevice
+    from repro.middleware.bus import BusConfig, DeviceBus
+    from repro.sim.channel import ChannelConfig
+    from repro.sim.kernel import Simulator
+
+    class _GoldenSensor(MedicalDevice):
+        def __init__(self, device_id, topics, period):
+            super().__init__(DeviceDescriptor(
+                device_id=device_id,
+                device_type="golden_sensor",
+                published_topics=tuple(topics),
+                accepted_commands=("ping",),
+            ))
+            self._topics = topics
+            self._period = period
+            self.pings = 0
+            self.register_command("ping", self._on_ping)
+
+        def _on_ping(self, _parameters):
+            self.pings += 1
+            return True
+
+        def start(self):
+            self.transition(DeviceState.RUNNING)
+            self.sample_every(self._period, self._tick)
+
+        def _tick(self):
+            for topic in self._topics:
+                self.publish(topic, {"value": self.now, "time": self.now})
+
+    sim = Simulator()
+    bus = DeviceBus(sim, BusConfig(
+        uplink=ChannelConfig(latency_s=0.013),
+        downlink=ChannelConfig(latency_s=0.017),
+        processing_delay_s=0.003,
+    ))
+    devices = [
+        _GoldenSensor("dev-a", ("vitals", "status"), 0.5),
+        _GoldenSensor("dev-b", ("vitals",), 0.7),
+        _GoldenSensor("dev-c", ("status",), 1.1),
+    ]
+    for device in devices:
+        bus.attach_device(device)
+        sim.register(device)
+
+    log = []
+    endpoints = ["alpha", "omega-9", "Z", "aa", "ba", "ab"]
+    for endpoint in endpoints:
+        for topic in ("vitals", "status"):
+            bus.subscribe(
+                endpoint, topic,
+                lambda t, p, m, e=endpoint: log.append(
+                    (round(sim.now, 9), e, t, p["value"], m.sequence)),
+            )
+    # Same endpoint, same topic, second handler: exercises endpoint dedup.
+    bus.subscribe("alpha", "vitals",
+                  lambda t, p, m: log.append((round(sim.now, 9), "alpha#2", t,
+                                              p["value"], m.sequence)))
+    sim.schedule(1.0, lambda: bus.send_command("supervisor", "dev-a", "ping", {"n": 1}))
+    sim.schedule(2.0, lambda: bus.send_command("supervisor", "dev-b", "ping"))
+    sim.run(until=5.0)
+
+    return {
+        "digest": _digest(log),
+        "deliveries": len(log),
+        "published": bus.published_count,
+        "forwarded": bus.forwarded_count,
+        "event_count": sim.event_count,
+        "pings": [device.pings for device in devices],
+    }
+
+
 def pca_system_probe() -> Dict[str, Any]:
     """One direct closed-loop PCA run: event count + full trace digest."""
     from repro.core.loop import ClosedLoopPCASystem, PCASystemConfig
@@ -170,6 +253,7 @@ def capture() -> Dict[str, Any]:
 
     golden: Dict[str, Any] = {
         "kernel_workload": kernel_workload(),
+        "bus_workload": bus_workload(),
         "pca_system": pca_system_probe(),
         "campaigns": {},
     }

@@ -1,0 +1,253 @@
+"""Tests for the fixed-rate sampling backbone (``repro.sim.sampler``).
+
+The backbone's contract has two halves: traces recorded through batched
+writers are *byte-identical* to unbatched recording, and readers never see a
+stale trace no matter when batches were last flushed (the read barrier).
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.pulse_oximeter import PulseOximeter, PulseOximeterConfig, _RollingMean
+from repro.patient.model import PatientModel
+from repro.sim.kernel import Simulator
+from repro.sim.sampler import BatchedTraceWriter, PeriodicSampler
+from repro.sim.trace import TraceRecorder
+
+
+class TestBatchedTraceWriter:
+    def test_batched_trace_identical_to_direct_recording(self):
+        direct, batched = TraceRecorder(), TraceRecorder()
+        writer = BatchedTraceWriter(batched, prefix="dev", source="device:dev")
+        writer.declare("spo2")
+        samples = [(0.5 * i, 97.0 - 0.01 * i) for i in range(500)]
+        for time, value in samples:
+            direct.record(time, "dev:spo2", value, source="device:dev")
+            writer.record(time, "spo2", value)
+        writer.flush()
+        assert batched.to_dict() == direct.to_dict()
+
+    def test_declare_is_idempotent_and_precomputes_name(self):
+        trace = TraceRecorder()
+        writer = BatchedTraceWriter(trace, prefix="dev")
+        batch = writer.declare("hr")
+        assert writer.declare("hr") is batch
+        assert batch.signal == "dev:hr"
+
+    def test_undeclared_signal_created_lazily(self):
+        trace = TraceRecorder()
+        writer = BatchedTraceWriter(trace, prefix="dev")
+        writer.record(1.0, "surprise", 42)
+        assert trace.samples("dev:surprise") == [(1.0, 42)]
+
+    def test_declared_but_never_sampled_signal_stays_absent(self):
+        # An empty batch must not materialise a trace buffer: to_dict() and
+        # signals() must look exactly as if the signal never existed.
+        trace = TraceRecorder()
+        writer = BatchedTraceWriter(trace, prefix="dev")
+        writer.declare("never_sampled")
+        writer.flush()
+        assert trace.signals() == []
+        assert trace.to_dict()["signals"] == {}
+
+    def test_read_barrier_drains_pending_batches(self):
+        trace = TraceRecorder()
+        writer = BatchedTraceWriter(trace, prefix="dev")
+        batch = writer.declare("spo2")
+        batch.append(1.0, 97.0)
+        batch.append(2.0, 96.0)
+        # No explicit flush: every query must still see both samples.
+        assert trace.last("dev:spo2") == (2.0, 96.0)
+        assert trace.value_at("dev:spo2", 1.5) == 97.0
+        assert list(trace.values("dev:spo2")) == [97.0, 96.0]
+        assert len(trace) == 2
+        assert writer.pending == 0
+
+    def test_merge_drains_both_recorders(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        writer_a = BatchedTraceWriter(a, prefix="x")
+        writer_b = BatchedTraceWriter(b, prefix="y")
+        writer_a.record(2.0, "s", "late")
+        writer_b.record(1.0, "s", "early")
+        a.merge(b)
+        assert a.samples("x:s") == [(2.0, "late")]
+        assert a.samples("y:s") == [(1.0, "early")]
+
+
+class TestPeriodicSampler:
+    def test_matches_periodic_task_schedule(self):
+        # The sampler must tick at the same simulated times, and produce the
+        # same kernel event count, as the call_every loop it replaces.
+        task_sim, sampler_sim = Simulator(), Simulator()
+        task_times, sampler_times = [], []
+        task_sim.call_every(0.5, lambda: task_times.append(task_sim.now))
+        PeriodicSampler(sampler_sim, 0.5,
+                        lambda: sampler_times.append(sampler_sim.now)).start()
+        task_sim.run(until=10.0)
+        sampler_sim.run(until=10.0)
+        assert sampler_times == task_times
+        assert sampler_sim.event_count == task_sim.event_count
+
+    def test_flushes_every_n_ticks(self):
+        simulator = Simulator()
+        trace = TraceRecorder()
+        writer = BatchedTraceWriter(trace, prefix="dev")
+        batch = writer.declare("v")
+
+        def tick():
+            batch.append(simulator.now, 1.0)
+
+        PeriodicSampler(simulator, 1.0, tick, writer=writer, flush_every=4).start()
+        simulator.run(until=10.0)
+        # 10 ticks, flushes after ticks 4 and 8; inspect internals directly
+        # (a query would drain via the read barrier and hide the batching).
+        assert len(trace._signals["dev:v"].times) == 8
+        assert len(batch.times) == 2
+        assert len(trace.values("dev:v")) == 10  # barrier completes the view
+
+    def test_cancel_stops_loop_and_flushes(self):
+        simulator = Simulator()
+        trace = TraceRecorder()
+        writer = BatchedTraceWriter(trace, prefix="dev")
+        batch = writer.declare("v")
+        sampler = PeriodicSampler(
+            simulator, 1.0, lambda: batch.append(simulator.now, 0.0),
+            writer=writer, flush_every=1000)
+        sampler.start()
+        simulator.schedule(3.5, sampler.cancel)
+        simulator.run(until=10.0)
+        assert sampler.cancelled
+        assert sampler.run_count == 3
+        assert len(trace._signals["dev:v"].times) == 3  # cancel flushed
+
+    def test_invalid_parameters_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(Exception):
+            PeriodicSampler(simulator, 0.0, lambda: None)
+        with pytest.raises(Exception):
+            PeriodicSampler(simulator, 1.0, lambda: None, flush_every=0)
+
+
+class TestRollingMean:
+    def test_matches_deque_reference(self):
+        from collections import deque
+
+        rng = np.random.default_rng(7)
+        window = _RollingMean(4)
+        reference = deque(maxlen=4)
+        for value in rng.normal(95.0, 2.0, size=50):
+            window.append(float(value))
+            reference.append(float(value))
+            # Bit-identical to the old np.mean(deque) implementation.
+            assert window.mean == float(np.mean(reference))
+        assert len(window) == 4
+
+    def test_empty_window_is_nan(self):
+        window = _RollingMean(4)
+        assert np.isnan(window.mean)
+        assert len(window) == 0
+
+    def test_clear_and_bias(self):
+        window = _RollingMean(3)
+        for value in (1.0, 2.0, 3.0):
+            window.append(value)
+        window.bias(10.0)
+        assert window.mean == pytest.approx(12.0)
+        window.clear()
+        assert np.isnan(window.mean)
+
+
+class TestDeviceIntegration:
+    def _run_oximeter(self, duration=30.0):
+        simulator = Simulator()
+        trace = TraceRecorder()
+        patient = PatientModel(trace=trace)
+        oximeter = PulseOximeter("ox-1", patient,
+                                 PulseOximeterConfig(sample_period_s=2.0),
+                                 trace=trace)
+        simulator.register(patient)
+        simulator.register(oximeter)
+        simulator.run(until=duration)
+        return simulator, trace, oximeter
+
+    def test_oximeter_records_through_backbone(self):
+        simulator, trace, oximeter = self._run_oximeter()
+        times = trace.times("ox-1:spo2_reading")
+        assert len(times) == 15
+        assert list(times[:3]) == [2.0, 4.0, 6.0]
+        assert list(trace.values("ox-1:spo2_reading")) == pytest.approx(
+            [oximeter.current_spo2] * 15)  # flat patient => flat readings
+
+    def test_crash_cancels_sampler_and_preserves_samples(self):
+        simulator, trace, oximeter = self._run_oximeter(duration=10.0)
+        count_at_crash = len(trace.times("ox-1:spo2_reading"))
+        oximeter.crash()
+        simulator.run(until=20.0)
+        assert len(trace.times("ox-1:spo2_reading")) == count_at_crash
+
+    def test_trace_attached_after_construction_records_signals(self):
+        # `device.trace = recorder` after __init__ must behave exactly like
+        # passing trace= to the constructor (the writer is rebuilt by the
+        # property), not silently record events-but-no-samples.
+        simulator = Simulator()
+        patient = PatientModel()
+        oximeter = PulseOximeter("ox-1", patient,
+                                 PulseOximeterConfig(sample_period_s=2.0))
+        trace = TraceRecorder()
+        oximeter.trace = trace
+        patient.trace = trace
+        simulator.register(patient)
+        simulator.register(oximeter)
+        simulator.run(until=10.0)
+        assert len(trace.times("ox-1:spo2_reading")) == 5
+        prefix = patient.parameters.patient_id
+        assert len(trace.times(f"{prefix}:spo2")) == 2
+
+    def test_trace_attached_after_start_flushes_periodically(self):
+        # A trace attached while the sampling loop is already running must be
+        # flushed by the loop itself (re-pointed writer), not only by the
+        # read barrier on the first query.
+        simulator = Simulator()
+        patient = PatientModel()
+        oximeter = PulseOximeter("ox-1", patient,
+                                 PulseOximeterConfig(sample_period_s=2.0))
+        simulator.register(patient)
+        simulator.register(oximeter)
+        simulator.run(until=10.0)
+        trace = TraceRecorder()
+        oximeter.trace = trace
+        simulator.run(until=10.0 + 2.0 * 70)  # past the 64-tick flush point
+        flushed = trace._signals["ox-1:spo2_reading"].times  # no query: raw buffer
+        assert len(flushed) >= 64
+
+    def test_trace_reassignment_detaches_old_writer(self):
+        simulator = Simulator()
+        patient = PatientModel()
+        oximeter = PulseOximeter("ox-1", patient)
+        trace = TraceRecorder()
+        oximeter.trace = trace
+        oximeter.trace = trace  # reassign: old writer must unregister
+        assert len(trace._pending_flushes) == 1
+        other = TraceRecorder()
+        oximeter.trace = other  # move to a fresh recorder
+        assert trace._pending_flushes == []
+        assert len(other._pending_flushes) == 1
+
+    def test_detach_flushes_pending_samples(self):
+        trace = TraceRecorder()
+        writer = BatchedTraceWriter(trace, prefix="dev")
+        writer.record(1.0, "s", 42)
+        writer.detach()
+        assert trace._pending_flushes == []
+        assert trace.samples("dev:s") == [(1.0, 42)]
+
+    def test_patient_model_signals_complete(self):
+        simulator = Simulator()
+        trace = TraceRecorder()
+        patient = PatientModel(trace=trace)
+        simulator.register(patient)
+        simulator.run(until=60.0)
+        prefix = patient.parameters.patient_id
+        for signal in ("plasma_mg_per_l", "effect_site_mg_per_l", "spo2",
+                       "heart_rate", "respiratory_rate", "pain", "true_map"):
+            assert len(trace.times(f"{prefix}:{signal}")) == 12

@@ -116,11 +116,11 @@ class TestLossAndOutages:
         sim.run()
         assert 0.2 < channel.loss_rate < 0.4
 
-    def test_no_rng_means_no_loss(self, sim):
-        channel = make_channel(sim, loss_probability=0.9)
-        channel.send("a", "t", 0)
-        sim.run()
-        assert channel.dropped == 0
+    def test_lossy_config_without_rng_rejected(self, sim):
+        # Silently disabling configured loss would invalidate the experiment;
+        # the channel refuses to be built in that state.
+        with pytest.raises(ValueError, match="rng"):
+            make_channel(sim, loss_probability=0.9)
 
     def test_outage_drops_messages_in_window(self, sim):
         channel = make_channel(sim)
@@ -147,7 +147,9 @@ class TestLossAndOutages:
 
 class TestJitterAndBandwidth:
     def test_jitter_varies_latency(self, sim):
-        channel = make_channel(sim, latency_s=0.5, jitter_s=0.2, rng=np.random.default_rng(2))
+        channel = Channel(sim, "jitter-channel",
+                          ChannelConfig(latency_s=0.5, jitter_s=0.2),
+                          rng=np.random.default_rng(2), retain_messages=True)
         channel.subscribe(lambda m: None)
         for _ in range(50):
             channel.send("a", "t", 0)
