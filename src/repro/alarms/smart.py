@@ -95,6 +95,16 @@ class SmartAlarmEngine:
             raised.extend(self._triage(candidate))
         return raised
 
+    def observe_reading(self, vital: str, reading) -> List[AlarmEvent]:
+        """Feed a device :class:`~repro.readings.Reading` natively.
+
+        Invalid readings are sensor artefacts: they raise no clinical alarm
+        here (corroboration/suppression triage only sees real observations).
+        """
+        if not reading.valid:
+            return []
+        return self.observe(reading.time, vital, float(reading.value))
+
     def observe_context(self, event: ContextEvent) -> None:
         """Record a context event (bed moved, patient repositioned, ...)."""
         self._context_events.append(event)

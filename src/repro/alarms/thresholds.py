@@ -12,6 +12,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.readings import Reading
+
 
 class AlarmSeverity(enum.Enum):
     ADVISORY = "advisory"
@@ -119,6 +121,17 @@ class ThresholdAlarm:
             else:
                 self._violation_start[index] = None
         return raised
+
+    def observe_reading(self, vital: str, reading: Reading) -> List[AlarmEvent]:
+        """Feed a device :class:`Reading` natively.
+
+        The reading's own sample time drives persistence/re-arm windows;
+        invalid readings (probe-off, lead-off) are sensor artefacts, not
+        observations, and raise nothing.
+        """
+        if not reading.valid:
+            return []
+        return self.observe(reading.time, vital, float(reading.value))
 
     def _can_raise(self, rule_index: int, time: float) -> bool:
         last = self._last_alarm_time.get(rule_index)

@@ -26,6 +26,7 @@ in :mod:`repro.middleware`:
 """
 
 from repro.devices.base import DeviceState, DeviceDescriptor, MedicalDevice
+from repro.readings import Reading, coerce_reading
 from repro.devices.pca_pump import PCAPump, PCAPrescription
 from repro.devices.pulse_oximeter import PulseOximeter, PulseOximeterConfig
 from repro.devices.capnograph import Capnograph, CapnographConfig
@@ -40,6 +41,8 @@ __all__ = [
     "DeviceState",
     "DeviceDescriptor",
     "MedicalDevice",
+    "Reading",
+    "coerce_reading",
     "PCAPump",
     "PCAPrescription",
     "PulseOximeter",

@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.readings import Reading
 from repro.sim.kernel import Process
 from repro.sim.sampler import BatchedTraceWriter, PeriodicSampler
 from repro.sim.trace import TraceRecorder
@@ -185,6 +186,32 @@ class MedicalDevice(Process):
             )
         if self._publisher is not None:
             self._publisher(topic, payload)
+
+    def publish_reading(
+        self,
+        topic: str,
+        value: Any,
+        valid: bool = True,
+        *,
+        record: Optional[str] = None,
+    ) -> None:
+        """Publish one sensor sample on ``topic`` as a :class:`Reading`.
+
+        The sample is stamped with the current simulated time.  ``record``
+        optionally names a declared trace signal to record ``value`` under in
+        the same call (the publish+record pair every sensor tick performs).
+        """
+        if self.crashed:
+            return
+        if not self.descriptor.publishes(topic):
+            raise ValueError(
+                f"device {self.descriptor.device_id!r} tried to publish undeclared topic {topic!r}"
+            )
+        now = self.now
+        if self._publisher is not None:
+            self._publisher(topic, Reading(value, valid, now))
+        if record is not None and self._writer is not None:
+            self._writer.record(now, record, value)
 
     def register_command(self, command: str, handler: Callable[[Dict[str, Any]], Any]) -> None:
         if not self.descriptor.accepts(command):

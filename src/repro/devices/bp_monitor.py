@@ -63,8 +63,7 @@ class BloodPressureMonitor(MedicalDevice):
             return
         reading = self.patient.map_model.measured_map_mmhg + self._zero_offset_mmhg
         self.readings_published += 1
-        self.publish("map", {"value": reading, "valid": True, "time": self.now})
-        self._record("map_reading", reading)
+        self.publish_reading("map", reading, record="map_reading")
 
     def _command_rezero(self, _parameters) -> bool:
         """Re-zero the transducer at the current bed height, removing the artefact."""

@@ -93,10 +93,8 @@ class Capnograph(MedicalDevice):
             rr = self._frozen_rr
 
         self.readings_published += 1
-        self.publish("respiratory_rate", {"value": rr, "valid": True, "time": self.now})
-        self.publish("etco2", {"value": etco2, "valid": True, "time": self.now})
-        self._record("respiratory_rate_reading", rr)
-        self._record("etco2_reading", etco2)
+        self.publish_reading("respiratory_rate", rr, record="respiratory_rate_reading")
+        self.publish_reading("etco2", etco2, record="etco2_reading")
 
     # ----------------------------------------------------------- fault hooks
     def freeze(self) -> None:

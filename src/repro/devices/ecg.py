@@ -71,15 +71,14 @@ class ECGMonitor(MedicalDevice):
             return
         if self._lead_off:
             self.publish("lead_status", {"attached": False, "time": self.now})
-            self.publish("ecg_heart_rate", {"value": self.config.lead_off_value, "valid": False, "time": self.now})
+            self.publish_reading("ecg_heart_rate", self.config.lead_off_value, valid=False)
             return
         heart_rate = self.patient.vital_signs.heart_rate_bpm
         if self._rng is not None:
             heart_rate += float(self._rng.normal(0.0, self.config.heart_rate_noise_sd))
         heart_rate = max(0.0, heart_rate)
         self.readings_published += 1
-        self.publish("ecg_heart_rate", {"value": heart_rate, "valid": True, "time": self.now})
-        self._record("ecg_heart_rate_reading", heart_rate)
+        self.publish_reading("ecg_heart_rate", heart_rate, record="ecg_heart_rate_reading")
 
     # ----------------------------------------------------------- fault hooks
     def detach_lead(self) -> None:

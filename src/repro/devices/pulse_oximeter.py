@@ -150,9 +150,8 @@ class PulseOximeter(MedicalDevice):
             # experiment relies on this signature being distinguishable from
             # true desaturation by its abruptness and by other vitals.
             self.publish("probe_status", {"attached": False})
-            self.publish("spo2", {"value": 0.0, "valid": False, "time": self.now})
-            self.publish("heart_rate", {"value": 0.0, "valid": False, "time": self.now})
-            self._record("spo2_reading", 0.0)
+            self.publish_reading("spo2", 0.0, valid=False, record="spo2_reading")
+            self.publish_reading("heart_rate", 0.0, valid=False)
             return
 
         vitals = self.patient.vital_signs
@@ -172,10 +171,8 @@ class PulseOximeter(MedicalDevice):
             reported_spo2, reported_hr = self.current_spo2, self.current_heart_rate
 
         self.readings_published += 1
-        self.publish("spo2", {"value": reported_spo2, "valid": True, "time": self.now})
-        self.publish("heart_rate", {"value": reported_hr, "valid": True, "time": self.now})
-        self._record("spo2_reading", reported_spo2)
-        self._record("heart_rate_reading", reported_hr)
+        self.publish_reading("spo2", reported_spo2, record="spo2_reading")
+        self.publish_reading("heart_rate", reported_hr, record="heart_rate_reading")
 
     # ---------------------------------------------------------------- values
     @property

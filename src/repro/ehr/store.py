@@ -12,6 +12,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.readings import Reading
+
 
 @dataclass
 class HistoryEntry:
@@ -104,6 +106,17 @@ class EHRStore:
         record.add_history(
             HistoryEntry(time=time, category="observation", description=vital, data={"value": value})
         )
+
+    def record_reading(self, patient_id: str, vital: str, reading: Reading) -> None:
+        """Record a device :class:`Reading` natively as an observation.
+
+        The reading's own sample time stamps the entry; invalid readings
+        (probe-off, lead-off artefacts) are not observations and are skipped
+        so they cannot poison learned baselines.
+        """
+        if not reading.valid:
+            return
+        self.record_observation(patient_id, reading.time, vital, float(reading.value))
 
     def record_medication(self, patient_id: str, time: float, medication: str, dose_mg: float) -> None:
         record = self.get(patient_id)

@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.middleware.bus import DeviceBus
 from repro.middleware.qos import QoSMonitor, TopicQoS
+from repro.readings import Reading
 from repro.sim.channel import Message
 from repro.sim.kernel import Process
 from repro.sim.trace import TraceRecorder
@@ -115,7 +116,14 @@ class SupervisorHost(Process):
 
     def _make_handler(self, app: SupervisorApp):
         def _handler(topic: str, payload: Any, message: Message) -> None:
-            published_at = payload.get("time", message.sent_at) if isinstance(payload, dict) else message.sent_at
+            # Fast path: Readings carry their publish time in a slot.  Legacy
+            # dict payloads fall back to the old string-keyed lookup.
+            if type(payload) is Reading:
+                published_at = payload.time
+            elif isinstance(payload, dict):
+                published_at = payload.get("time", message.sent_at)
+            else:
+                published_at = message.sent_at
             self.qos.record_delivery(topic, published_at=float(published_at), delivered_at=message.delivered_at)
             app.on_data(topic, payload, message)
         return _handler

@@ -1,0 +1,148 @@
+"""The slotted, immutable per-sample sensor reading carried end-to-end.
+
+Every sensor sample in the system used to travel as a fresh three-key dict
+(``{"value": ..., "valid": ..., "time": ...}``) allocated per published
+reading — multiplied by devices x sample rate x campaign size, that dict was
+the last per-reading allocation on the messaging hot path.  :class:`Reading`
+replaces it: a ``__slots__`` value type produced by the device publish
+helpers, carried opaquely through :class:`repro.sim.channel.Channel` messages
+and :class:`repro.middleware.bus.Envelope` envelopes, and consumed natively
+(attribute access, no string-keyed lookups) by the supervisor, workflow,
+EHR, and alarm layers.
+
+Compatibility shim
+------------------
+``Reading`` implements the read-only :class:`collections.abc.Mapping`
+protocol over its three fields, so third-party handlers written against the
+old dict payloads keep working unchanged::
+
+    reading["value"]            # -> reading.value
+    reading.get("valid", True)  # -> reading.valid
+    dict(reading)               # -> {"value": ..., "valid": ..., "time": ...}
+
+The shim is deprecated in favour of attribute access; the one dict idiom it
+cannot preserve is ``isinstance(payload, dict)``, which handlers should
+replace with :func:`coerce_reading` (handles Readings, legacy dicts, and
+bare numbers uniformly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Iterator, Optional
+
+_FIELDS = ("value", "valid", "time")
+_set = object.__setattr__
+
+
+class Reading:
+    """One sensor sample: ``value`` measured at ``time``, flagged ``valid``.
+
+    Instances are immutable (assignment raises), hashable, and compare equal
+    to other Readings and to mappings with the same three items.
+    """
+
+    __slots__ = _FIELDS
+
+    value: Any
+    valid: bool
+    time: float
+
+    def __init__(self, value: Any, valid: bool = True, time: float = 0.0) -> None:
+        _set(self, "value", value)
+        _set(self, "valid", valid)
+        _set(self, "time", time)
+
+    # ---------------------------------------------------------- immutability
+    def __setattr__(self, name: str, _value: Any) -> None:
+        raise AttributeError(f"Reading is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Reading is immutable (tried to delete {name!r})")
+
+    # ------------------------------------------------- Mapping-compat (shim)
+    def __getitem__(self, key: str) -> Any:
+        if key in _FIELDS:
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key in _FIELDS:
+            return getattr(self, key)
+        return default
+
+    def keys(self):
+        return _FIELDS
+
+    def values(self):
+        return (self.value, self.valid, self.time)
+
+    def items(self):
+        return tuple(zip(_FIELDS, (self.value, self.valid, self.time)))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_FIELDS)
+
+    def __len__(self) -> int:
+        return len(_FIELDS)
+
+    def __contains__(self, key: object) -> bool:
+        return key in _FIELDS
+
+    def as_dict(self) -> dict:
+        """The legacy dict payload form (same key order the devices used)."""
+        return {"value": self.value, "valid": self.valid, "time": self.time}
+
+    # ------------------------------------------------------------ comparison
+    def __eq__(self, other: object) -> bool:
+        if type(other) is Reading:
+            return (self.value == other.value and self.valid == other.valid
+                    and self.time == other.time)
+        if isinstance(other, Mapping):
+            return len(other) == 3 and all(
+                key in other and other[key] == getattr(self, key) for key in _FIELDS
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Reading, self.value, self.valid, self.time))
+
+    def __reduce__(self):
+        # Default slot pickling restores state via setattr, which immutability
+        # blocks; rebuild through the constructor instead (campaign workers
+        # move objects across processes).
+        return (Reading, (self.value, self.valid, self.time))
+
+    def __repr__(self) -> str:
+        return f"Reading(value={self.value!r}, valid={self.valid!r}, time={self.time!r})"
+
+
+# ``isinstance(payload, Mapping)`` keeps working for handlers that type-check
+# against the ABC rather than the concrete dict.
+Mapping.register(Reading)
+
+
+def coerce_reading(payload: Any, default_time: float = 0.0) -> Optional[Reading]:
+    """View an arbitrary topic payload as a :class:`Reading`, if it is one.
+
+    Accepts the three shapes a data topic has ever carried — a ``Reading``,
+    a legacy ``{"value": ...}`` dict (``valid``/``time`` optional), or a bare
+    number — and returns ``None`` for anything else (command parameters,
+    status dicts like ``bed_height``/``pump_status``, strings).  Consumers
+    that track latest values should route every payload through this shim
+    instead of ``isinstance(payload, dict)`` checks, which silently drop
+    Readings and bare numbers.
+    """
+    if type(payload) is Reading:
+        return payload
+    if isinstance(payload, dict):
+        if "value" not in payload:
+            return None
+        return Reading(
+            payload["value"],
+            bool(payload.get("valid", True)),
+            float(payload.get("time", default_time)),
+        )
+    if isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        return Reading(float(payload), True, default_time)
+    return None

@@ -82,7 +82,13 @@ class Channel:
 
     Receivers subscribe with :meth:`subscribe`; senders call :meth:`send`.
     Delivery is simulated by scheduling a kernel event after the sampled
-    latency.  Streaming statistics (sent/delivered/dropped counts, mean/max
+    latency.  Messages that land on the same ``(channel, delivery-time)``
+    share ONE kernel event: the first message schedules it, later ones join
+    its per-tick queue, and the event drains the queue in FIFO send order.
+    On the zero-jitter fast path (fixed latency, multi-topic device ticks)
+    this halves-or-better the kernel events per sample without reordering
+    any deliveries within a channel.  Streaming statistics (sent/delivered/
+    dropped counts, mean/max
     latency) are kept for the delay-budget analyses in
     :mod:`repro.core.delays`; the full per-message history
     (:attr:`latencies`, :attr:`delivered_messages`) is only retained when
@@ -122,6 +128,11 @@ class Channel:
         self._outages: List[Tuple[float, float]] = []
         self._busy_until = 0.0
         self._deliver_name = f"channel:{name}:deliver"
+        # Same-tick coalescing: delivery-time -> FIFO queue of in-flight
+        # messages sharing one kernel event.  Keyed by exact float time, so
+        # only bit-identical delivery times ever share an event; entries are
+        # popped when their event fires (bounded by in-flight messages).
+        self._pending: Dict[float, List[Message]] = {}
         self.sent: int = 0
         self.delivered: int = 0
         self.dropped: int = 0
@@ -163,30 +174,42 @@ class Channel:
         message = Message(sender, topic, payload, now, next(self._sequence))
         self.sent += 1
 
-        if self.in_outage(now) or self._sample_loss():
+        # Inlined guards: the common case (no outages, no loss, no jitter)
+        # must not pay method calls per message on the hottest messaging
+        # path.  This is the only place latency is sampled; the loud
+        # _require_rng failure on mutated configs is preserved.
+        config = self.config
+        if (self._outages and self.in_outage(now)) or (
+            config.loss_probability > 0.0 and self._sample_loss()
+        ):
             self.dropped += 1
             return message
 
-        latency = self._sample_latency()
+        latency = config.latency_s
+        if config.jitter_s > 0.0:
+            latency += self._require_rng().uniform(-config.jitter_s, config.jitter_s)
+            if latency < 0.0:
+                latency = 0.0
         delivery_time = now + latency
-        if self.config.bandwidth_msgs_per_s is not None:
-            service_time = 1.0 / self.config.bandwidth_msgs_per_s
+        if config.bandwidth_msgs_per_s is not None:
+            service_time = 1.0 / config.bandwidth_msgs_per_s
             start_service = max(delivery_time, self._busy_until)
             delivery_time = start_service + service_time
             self._busy_until = delivery_time
 
-        self.simulator.schedule_at(
-            delivery_time,
-            lambda: self._deliver(message),
-            name=self._deliver_name,
-        )
+        batch = self._pending.get(delivery_time)
+        if batch is not None:
+            # Another message is already in flight for this exact instant:
+            # ride its kernel event instead of scheduling a second one.
+            batch.append(message)
+        else:
+            self._pending[delivery_time] = [message]
+            self.simulator.schedule_at(
+                delivery_time,
+                lambda: self._deliver_batch(delivery_time),
+                name=self._deliver_name,
+            )
         return message
-
-    def _sample_latency(self) -> float:
-        latency = self.config.latency_s
-        if self.config.jitter_s > 0:
-            latency += self._require_rng().uniform(-self.config.jitter_s, self.config.jitter_s)
-        return max(0.0, latency)
 
     def _sample_loss(self) -> bool:
         if self.config.loss_probability <= 0:
@@ -205,6 +228,16 @@ class Channel:
                 "(mutated after construction?) but the channel has no rng"
             )
         return rng
+
+    def _deliver_batch(self, time: float) -> None:
+        # Pop before draining: a handler that sends another zero-remaining-
+        # latency message for this same instant must get a fresh kernel event
+        # (scheduled at now, running after this one), exactly as it did when
+        # every message had its own event.
+        batch = self._pending.pop(time)
+        deliver = self._deliver
+        for message in batch:
+            deliver(message)
 
     def _deliver(self, message: Message) -> None:
         delivered = message.with_delivery(self.simulator.now)

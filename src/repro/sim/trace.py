@@ -252,6 +252,8 @@ class TraceRecorder:
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialisable snapshot (used by EXPERIMENTS.md generation and tests)."""
+        from repro.readings import Reading  # local: trace is below readings' consumers
+
         self._drain()
         return {
             "signals": {
@@ -259,7 +261,15 @@ class TraceRecorder:
                 for name, buffer in self._signals.items()
             },
             "events": [
-                {"time": e.time, "signal": e.signal, "value": e.value, "source": e.source}
+                {
+                    "time": e.time,
+                    "signal": e.signal,
+                    # Readings serialise as their legacy dict payload form, so
+                    # trace snapshots stay plain-JSON (and byte-identical to
+                    # the dict-payload era for unchanged runs).
+                    "value": e.value.as_dict() if type(e.value) is Reading else e.value,
+                    "source": e.source,
+                }
                 for e in self._events
             ],
         }

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 from repro.middleware.qos import TopicQoS
 from repro.middleware.registry import DeviceRequirement
 from repro.middleware.supervisor_host import SupervisorApp
+from repro.readings import coerce_reading
 from repro.sim.channel import Message
 from repro.workflow.spec import ClinicalScenario, DecisionRule
 
@@ -81,11 +82,13 @@ class CompiledScenarioApp(SupervisorApp):
 
     # ------------------------------------------------------------------ data
     def on_data(self, topic: str, payload: Any, message: Message) -> None:
-        if isinstance(payload, dict) and "value" in payload:
-            if payload.get("valid", True):
-                self._latest[topic] = float(payload["value"])
-        elif isinstance(payload, (int, float)):
-            self._latest[topic] = float(payload)
+        # Route every payload through the Reading shim: slotted Readings,
+        # legacy {"value": ...} dicts, and bare numbers all update the latest
+        # observation; command parameters and status dicts (no value field)
+        # are not observations and are ignored.
+        reading = coerce_reading(payload, default_time=message.sent_at)
+        if reading is not None and reading.valid:
+            self._latest[topic] = float(reading.value)
 
     @property
     def observations(self) -> Dict[str, float]:

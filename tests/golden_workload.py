@@ -263,7 +263,51 @@ def capture() -> Dict[str, Any]:
     return golden
 
 
+def _flatten(payload: Any, prefix: str = "") -> Dict[str, Any]:
+    if isinstance(payload, dict):
+        flat: Dict[str, Any] = {}
+        for key, value in payload.items():
+            flat.update(_flatten(value, f"{prefix}.{key}" if prefix else str(key)))
+        return flat
+    return {prefix: payload}
+
+
+def verify() -> int:
+    """Recompute every golden digest and report drift readably.
+
+    Unlike the suite's bare ``assert workload() == golden``, this names each
+    scenario/field that moved (the review artefact for an intentional
+    regeneration) and exits 1 on any drift.  Used by the CI golden-drift job
+    under both pinned PYTHONHASHSEED values.
+    """
+    committed = _flatten(json.loads(GOLDEN_PATH.read_text(encoding="utf-8")))
+    current = _flatten(capture())
+    drifted = sorted(
+        {key for key in committed if committed.get(key) != current.get(key)}
+        | (set(current) - set(committed))
+    )
+    for key in sorted(set(committed) | set(current)):
+        if key in drifted:
+            print(f"DRIFT {key}:")
+            print(f"    committed: {committed.get(key, '<missing>')}")
+            print(f"    current:   {current.get(key, '<missing>')}")
+        else:
+            print(f"ok    {key}")
+    if drifted:
+        print(f"\n{len(drifted)} golden value(s) drifted from {GOLDEN_PATH}.")
+        print("If the semantic change is intentional, regenerate with "
+              "`PYTHONPATH=src python tests/golden_workload.py` and justify "
+              "it in CHANGES.md per the README determinism contract.")
+        return 1
+    print(f"\nall golden values match {GOLDEN_PATH}")
+    return 0
+
+
 if __name__ == "__main__":
+    import sys
+
+    if "--verify" in sys.argv[1:]:
+        raise SystemExit(verify())
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(capture(), indent=2, sort_keys=True) + "\n",
                            encoding="utf-8")

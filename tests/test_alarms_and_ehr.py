@@ -22,6 +22,7 @@ from repro.alarms.thresholds import (
 from repro.ehr.access import AccessPolicy, AccessRequest, Role
 from repro.ehr.store import EHRStore, HistoryEntry
 from repro.patient.population import PatientPopulation
+from repro.readings import Reading
 
 
 class TestThresholdAlarm:
@@ -74,6 +75,35 @@ class TestThresholdAlarm:
         alarm.observe(2.0, "map", 50.0)
         assert alarm.alarm_times == [1.0, 2.0]
         assert len(alarm.alarms_for("map")) == 1
+
+
+class TestThresholdAlarmReadingIntake:
+    def _alarm(self):
+        return ThresholdAlarm("t", [
+            ThresholdRule(vital="spo2", threshold=90.0, direction="below",
+                          severity=AlarmSeverity.CRITICAL),
+        ], rearm_time_s=0.0)
+
+    def test_observe_reading_matches_observe(self):
+        via_reading, via_scalar = self._alarm(), self._alarm()
+        raised_r = via_reading.observe_reading("spo2", Reading(85.0, True, 10.0))
+        raised_s = via_scalar.observe(10.0, "spo2", 85.0)
+        assert len(raised_r) == len(raised_s) == 1
+        assert raised_r[0] == raised_s[0]
+
+    def test_invalid_reading_raises_nothing(self):
+        alarm = self._alarm()
+        # Probe-off artefact: value 0.0 would trip the threshold if the
+        # validity flag were ignored.
+        assert alarm.observe_reading("spo2", Reading(0.0, False, 10.0)) == []
+        assert alarm.alarms == []
+
+    def test_smart_engine_observe_reading(self):
+        engine = SmartAlarmEngine(self._alarm())
+        assert engine.observe_reading("spo2", Reading(0.0, False, 5.0)) == []
+        raised = engine.observe_reading("spo2", Reading(84.0, True, 6.0))
+        assert len(raised) == 1
+        assert raised[0].time == 6.0
 
 
 class TestAdaptiveAlarm:
@@ -273,6 +303,25 @@ class TestEHRStore:
         record.add_history(HistoryEntry(5.0, "observation", "late"))
         record.add_history(HistoryEntry(1.0, "observation", "early"))
         assert [entry.description for entry in record.history] == ["early", "late"]
+
+
+class TestEHRReadingIntake:
+    def test_record_reading_stores_observation_with_reading_time(self):
+        ehr = EHRStore()
+        ehr.admit("p1")
+        ehr.record_reading("p1", "spo2", Reading(96.0, True, 120.0))
+        (entry,) = ehr.get("p1").history_in_category("observation")
+        assert entry.time == 120.0
+        assert entry.description == "spo2"
+        assert entry.data == {"value": 96.0}
+
+    def test_invalid_readings_do_not_poison_baselines(self):
+        ehr = EHRStore()
+        ehr.admit("p1")
+        for index in range(5):
+            ehr.record_reading("p1", "map_mmhg", Reading(90.0 + index, True, float(index)))
+        ehr.record_reading("p1", "map_mmhg", Reading(0.0, False, 6.0))  # artefact
+        assert ehr.baseline("p1", "map_mmhg") == 92.0
 
 
 class TestEHRAccessPolicy:
