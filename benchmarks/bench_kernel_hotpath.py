@@ -73,6 +73,55 @@ def run_synthetic(n_events: int) -> float:
     return n_events / elapsed
 
 
+def run_synthetic_baseline(n_events: int, attempts: int) -> float:
+    """Best-of disabled-mode synthetic rate, forcing repro.obs off.
+
+    Forcing keeps the headline (and gated) events/s comparable to the
+    committed baseline even when the process runs under ``REPRO_OBS=1``.
+    """
+    from repro.obs import metrics as obs
+
+    was_enabled = obs.enabled()
+    obs.disable()
+    try:
+        return max(run_synthetic(n_events) for _ in range(attempts))
+    finally:
+        if was_enabled:
+            obs.enable()
+
+
+def run_synthetic_obs(n_events: int, attempts: int) -> dict:
+    """Best-of enabled-mode synthetic rate plus the registry's own view.
+
+    Returns the measured events/s, the registry-derived rate
+    (``kernel.events_fired / kernel.wall_seconds_total`` — the number a
+    metrics consumer would compute from a snapshot), and the peak heap
+    depth the instrumented kernel observed.
+    """
+    from repro.obs import metrics as obs
+
+    was_enabled = obs.enabled()
+    obs.enable()
+    registry = obs.registry()
+    registry.reset()
+    try:
+        measured = max(run_synthetic(n_events) for _ in range(attempts))
+    finally:
+        if not was_enabled:
+            obs.disable()
+    fired = registry.counter("kernel.events_fired").value
+    wall = registry.counter("kernel.wall_seconds_total").value
+    heap_peak = registry.gauge("kernel.heap_peak", agg="max").value
+    stats = {
+        "events_per_s": measured,
+        "registry_events_per_s": (fired / wall) if wall > 0 else 0.0,
+        "events_fired": fired,
+        "heap_peak": heap_peak,
+    }
+    registry.reset()
+    return stats
+
+
 def run_pca(runs: int, duration_s: float) -> tuple:
     """Execute ``runs`` seeded PCA scenario runs; returns (runs/s, elapsed)."""
     from repro.campaign.registry import get_scenario
@@ -139,16 +188,28 @@ def main(argv=None) -> int:
     parser.add_argument("--best-of", type=int, default=0, metavar="N",
                         help="repeat each measurement N times and keep the "
                              "fastest (default: 3 when checking, else 1)")
+    parser.add_argument("--obs-overhead-gate", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail (exit 1) if enabled-observability overhead "
+                             "on the synthetic events/s exceeds FRAC "
+                             "(e.g. 0.10 for a 10%% budget)")
     args = parser.parse_args(argv)
 
     n_events = 200_000 if args.quick else args.events
     pca_runs = 1 if args.quick else args.pca_runs
     pca_duration = 3600.0 if args.quick else args.pca_duration
-    attempts = args.best_of or (3 if args.check_against else 1)
+    gating = bool(args.check_against) or args.obs_overhead_gate is not None
+    attempts = args.best_of or (3 if gating else 1)
 
-    events_per_s = max(run_synthetic(n_events) for _ in range(attempts))
+    events_per_s = run_synthetic_baseline(n_events, attempts)
     print(f"kernel synthetic: {n_events} events -> {events_per_s:,.0f} events/s"
           + (f" (best of {attempts})" if attempts > 1 else ""))
+
+    obs_stats = run_synthetic_obs(n_events, attempts)
+    obs_overhead = max(0.0, 1.0 - obs_stats["events_per_s"] / events_per_s)
+    print(f"kernel synthetic (obs enabled): {obs_stats['events_per_s']:,.0f} "
+          f"events/s (overhead {obs_overhead:.1%}, "
+          f"heap peak {obs_stats['heap_peak']:.0f})")
 
     runs_per_s, pca_elapsed = max(
         (run_pca(pca_runs, pca_duration) for _ in range(attempts)),
@@ -166,12 +227,23 @@ def main(argv=None) -> int:
         "pca_duration_s": pca_duration,
         "pca_elapsed_s": pca_elapsed,
         "runs_per_s": runs_per_s,
+        "obs_metrics": dict(obs_stats, overhead_frac=obs_overhead),
     })
 
+    status = 0
+    if args.obs_overhead_gate is not None:
+        if obs_overhead > args.obs_overhead_gate:
+            print(f"[obs-gate] FAILED: enabled-observability overhead "
+                  f"{obs_overhead:.1%} exceeds the "
+                  f"{args.obs_overhead_gate:.0%} budget")
+            status = 1
+        else:
+            print(f"[obs-gate] ok: overhead {obs_overhead:.1%} within "
+                  f"{args.obs_overhead_gate:.0%}")
     if args.check_against:
-        return check_against(args.check_against, args.tolerance,
-                             events_per_s, runs_per_s, pca_duration)
-    return 0
+        status = check_against(args.check_against, args.tolerance,
+                               events_per_s, runs_per_s, pca_duration) or status
+    return status
 
 
 if __name__ == "__main__":

@@ -9,6 +9,13 @@ Commands
     campaign directory (which then supports ``--resume`` and ``report``).
 ``report DIR``
     Aggregate a stored campaign into a summary table.
+
+All commands emit through the :mod:`repro.obs.logging` facade: ``--json``
+switches every line to NDJSON events (tables are emitted structurally as
+``{title, columns, rows}``), ``--quiet`` suppresses informational output,
+and the default human mode is byte-identical to the plain ``print`` output
+this CLI used to produce.  ``run --metrics-out PATH`` enables the
+observability registry and writes the merged campaign metrics snapshot.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.campaign.engine import run_campaign
 from repro.campaign.registry import CampaignError, get_scenario, list_scenarios
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore, load_results
+from repro.obs.logging import StructLogger, get_logger
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -29,11 +37,22 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.campaign",
         description="Population-scale simulation campaigns over the repro scenarios.",
     )
+    # Output-mode flags are shared by every subcommand via a parent parser,
+    # so `run --quiet` keeps working exactly as before and `list`/`report`
+    # gain the same switches.
+    output = argparse.ArgumentParser(add_help=False)
+    mode = output.add_mutually_exclusive_group()
+    mode.add_argument("--quiet", action="store_true",
+                      help="suppress informational output (errors still print)")
+    mode.add_argument("--json", action="store_true",
+                      help="emit NDJSON events instead of human-readable lines")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="show registered campaign scenarios")
+    commands.add_parser("list", parents=[output],
+                        help="show registered campaign scenarios")
 
-    run = commands.add_parser("run", help="execute a campaign spec (JSON file)")
+    run = commands.add_parser("run", parents=[output],
+                              help="execute a campaign spec (JSON file)")
     run.add_argument("spec", help="path to a campaign spec JSON file")
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes (1 = deterministic serial reference)")
@@ -53,9 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="comma-separated fields for the post-run summary table")
     run.add_argument("--metrics", default=None,
                      help="comma-separated result metrics for the summary table")
-    run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="enable observability and write the merged campaign "
+                          "metrics snapshot (NDJSON) to PATH")
 
-    report = commands.add_parser("report", help="summarise a stored campaign")
+    report = commands.add_parser("report", parents=[output],
+                                 help="summarise a stored campaign")
     report.add_argument("directory", help="campaign directory written by 'run --out'")
     report.add_argument("--group-by", default=None,
                         help="comma-separated grouping fields (default: swept params)")
@@ -64,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--statistic", default="mean",
                         choices=("mean", "median", "min", "max", "std"))
     return parser
+
+
+def _make_logger(args: argparse.Namespace) -> StructLogger:
+    mode = "json" if getattr(args, "json", False) else (
+        "quiet" if getattr(args, "quiet", False) else "human")
+    return get_logger("repro.campaign", mode=mode)
 
 
 def _csv(value: Optional[str]) -> Optional[List[str]]:
@@ -96,38 +124,52 @@ def _default_metrics(records: Sequence[Dict[str, Any]], limit: int = 6) -> List[
     return metrics[:limit]
 
 
-def _print_table(records, group_by, metrics, statistic="mean", title="campaign summary"):
+def _emit_table(log: StructLogger, records, group_by, metrics,
+                statistic="mean", title="campaign summary"):
     if not records:
-        print("no records")
+        log.info("no records", event="table")
         return
     if not group_by:
         group_by = ["scenario"]
     table = campaign_table(
         records, group_by=group_by, metrics=metrics, statistic=statistic, title=title
     )
-    print(table.render())
+    if log.json_mode:
+        log.info(event="table", title=table.title, columns=list(table.columns),
+                 rows=[list(row) for row in table.rows])
+    else:
+        log.info(table.render())
 
 
-def _cmd_list() -> int:
+def _cmd_list(log: StructLogger) -> int:
     for scenario in list_scenarios():
         cohort = " [cohort]" if scenario.supports_cohort else ""
-        print(f"{scenario.name}{cohort}: {scenario.description}")
         defaults = ", ".join(f"{k}={v!r}" for k, v in sorted(scenario.defaults.items()))
-        print(f"  parameters: {defaults}")
-        print(f"  result fields: {', '.join(scenario.result_fields)}")
+        if log.json_mode:
+            log.info(event="scenario", name=scenario.name,
+                     cohort=scenario.supports_cohort,
+                     description=scenario.description,
+                     parameters={k: repr(v) for k, v in sorted(scenario.defaults.items())},
+                     result_fields=list(scenario.result_fields))
+            continue
+        log.info(f"{scenario.name}{cohort}: {scenario.description}")
+        log.info(f"  parameters: {defaults}")
+        log.info(f"  result fields: {', '.join(scenario.result_fields)}")
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _cmd_run(args: argparse.Namespace, log: StructLogger) -> int:
     spec = CampaignSpec.from_file(args.spec)
     total = spec.grid_size()
-    if not args.quiet:
-        print(f"campaign {spec.name!r}: {total} runs of scenario {spec.scenario!r} "
-              f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    log.info(f"campaign {spec.name!r}: {total} runs of scenario {spec.scenario!r} "
+             f"({args.workers} worker{'s' if args.workers != 1 else ''})",
+             event="campaign-start", campaign=spec.name, scenario=spec.scenario,
+             runs=total, workers=args.workers)
 
     def progress(done: int, total_runs: int, record: Dict[str, Any]) -> None:
-        if not args.quiet:
-            print(f"  [{done}/{total_runs}] {record['run_id']}")
+        log.info(f"  [{done}/{total_runs}] {record['run_id']}",
+                 event="progress", done=done, total=total_runs,
+                 run_id=record["run_id"])
 
     report = run_campaign(
         spec,
@@ -137,45 +179,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
         progress=progress,
         chunksize=args.chunksize,
         flush_every=args.flush_every,
+        metrics_out=args.metrics_out,
     )
-    if not args.quiet:
-        where = f" -> {report.directory}" if report.directory else ""
-        print(f"completed {report.total} runs "
-              f"({report.executed} executed, {report.skipped} resumed){where}")
+    where = f" -> {report.directory}" if report.directory else ""
+    log.info(f"completed {report.total} runs "
+             f"({report.executed} executed, {report.skipped} resumed){where}",
+             event="campaign-done", total=report.total, executed=report.executed,
+             skipped=report.skipped,
+             directory=str(report.directory) if report.directory else None)
+    if report.metrics_path is not None:
+        log.info(f"metrics snapshot -> {report.metrics_path}",
+                 event="metrics-written", path=str(report.metrics_path))
 
     group_by = _csv(args.group_by) or spec.sweep_axes()
     metrics = _csv(args.metrics) or _default_metrics(report.records)
     if metrics:
-        _print_table(report.records, group_by, metrics,
-                     title=f"campaign {spec.name!r} summary")
+        _emit_table(log, report.records, group_by, metrics,
+                    title=f"campaign {spec.name!r} summary")
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace, log: StructLogger) -> int:
     records = load_results(args.directory)
     if not records:
-        print(f"no results in {args.directory}", file=sys.stderr)
+        log.error(f"no results in {args.directory}",
+                  event="report-empty", directory=args.directory)
         return 1
     manifest = ResultStore(args.directory).load_manifest()
     spec = CampaignSpec.from_dict(manifest["spec"]) if manifest else None
     group_by = _csv(args.group_by) or (spec.sweep_axes() if spec else [])
     metrics = _csv(args.metrics) or _default_metrics(records)
     title = f"campaign {spec.name!r} report" if spec else "campaign report"
-    _print_table(records, group_by, metrics, statistic=args.statistic, title=title)
+    _emit_table(log, records, group_by, metrics,
+                statistic=args.statistic, title=title)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    log = _make_logger(args)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(log)
         if args.command == "run":
-            return _cmd_run(args)
+            return _cmd_run(args, log)
         if args.command == "report":
-            return _cmd_report(args)
+            return _cmd_report(args, log)
     except CampaignError as error:
-        print(f"error: {error}", file=sys.stderr)
+        log.error(f"error: {error}", event="error", error=str(error))
         return 2
     return 0
 

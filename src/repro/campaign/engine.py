@@ -20,23 +20,27 @@ explicit ``chunksize`` wins.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import traceback
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.campaign.registry import CampaignError, get_scenario
 from repro.campaign.spec import CampaignSpec, RunManifest
 from repro.campaign.store import ResultStore
+from repro.obs import export as obs_export
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import tracer as obs_tracer
 
 ProgressCallback = Callable[[int, int, Dict[str, Any]], None]
 
 
-def execute_manifest(manifest: RunManifest) -> Dict[str, Any]:
-    """Execute one run and wrap its result in the campaign record schema."""
-    scenario = get_scenario(manifest.scenario)
+def _run_scenario(scenario, manifest: RunManifest) -> Dict[str, Any]:
+    """Invoke the scenario runner, normalising failures to CampaignError."""
     try:
-        result = scenario.runner(dict(manifest.params), manifest.seed)
+        return scenario.runner(dict(manifest.params), manifest.seed)
     except CampaignError:
         raise
     except Exception as error:
@@ -56,6 +60,11 @@ def execute_manifest(manifest: RunManifest) -> Dict[str, Any]:
             f"run {manifest.run_id!r} of scenario {manifest.scenario!r} "
             f"failed: {detail}"
         ) from error
+
+
+def _wrap_record(scenario, manifest: RunManifest,
+                 result: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate declared result fields and build the campaign record."""
     missing = [key for key in scenario.result_fields if key not in result]
     if missing:
         raise CampaignError(
@@ -72,23 +81,78 @@ def execute_manifest(manifest: RunManifest) -> Dict[str, Any]:
     }
 
 
+def execute_manifest(manifest: RunManifest) -> Dict[str, Any]:
+    """Execute one run and wrap its result in the campaign record schema.
+
+    With observability enabled, each lifecycle phase (setup / run /
+    teardown) is wrapped in a wall-clock span whose trace and span ids are
+    derived from the run id — deterministic across reruns and joinable
+    across worker shards — and the whole run feeds the per-run wall-time
+    histogram.  The record itself is byte-identical either way: metrics
+    never touch simulation results.
+    """
+    instruments = obs_metrics.campaign_instruments()
+    if instruments is None:
+        scenario = get_scenario(manifest.scenario)
+        result = _run_scenario(scenario, manifest)
+        return _wrap_record(scenario, manifest, result)
+    context = obs_tracer().trace(manifest.run_id)
+    wall_before = perf_counter()
+    with context.span(f"{manifest.scenario}:setup"):
+        scenario = get_scenario(manifest.scenario)
+    with context.span(f"{manifest.scenario}:run"):
+        result = _run_scenario(scenario, manifest)
+    with context.span(f"{manifest.scenario}:teardown"):
+        record = _wrap_record(scenario, manifest, result)
+    instruments.runs.value += 1
+    instruments.run_wall_s.observe(perf_counter() - wall_before)
+    return record
+
+
 #: Per-process payload table, populated once by the pool initializer.
 _WORKER_PAYLOADS: List[Tuple[int, str, str, Dict[str, Any], int]] = []
 
 
-def _pool_initializer(payloads: List[Tuple[int, str, str, Dict[str, Any], int]]) -> None:
-    """Install the campaign's payload table in a fresh worker process."""
-    global _WORKER_PAYLOADS
+#: Where this worker process writes its cumulative metrics shard (or None).
+_WORKER_SHARD_DIR: Optional[str] = None
+
+
+def _pool_initializer(
+    payloads: List[Tuple[int, str, str, Dict[str, Any], int]],
+    obs_on: bool = False,
+    shard_dir: Optional[str] = None,
+) -> None:
+    """Install the campaign's payload table in a fresh worker process.
+
+    ``obs_on`` carries the parent's observability switch across the process
+    boundary explicitly (a programmatic ``enable()`` in the parent is not
+    visible to spawn-started workers); ``shard_dir`` is where this worker
+    drops its cumulative metrics shard after each run.
+    """
+    global _WORKER_PAYLOADS, _WORKER_SHARD_DIR
     _WORKER_PAYLOADS = payloads
+    _WORKER_SHARD_DIR = shard_dir
+    if obs_on:
+        obs_metrics.enable()
 
 
 def _worker(index: int) -> Dict[str, Any]:
     """Pool entry point: look the payload up by index and execute it."""
     run_index, run_id, scenario, params, seed = _WORKER_PAYLOADS[index]
-    return execute_manifest(
+    record = execute_manifest(
         RunManifest(run_index=run_index, run_id=run_id, scenario=scenario,
                     params=params, seed=seed)
     )
+    if _WORKER_SHARD_DIR is not None:
+        # Rewrite the full cumulative snapshot after every run: shards stay
+        # valid whenever the pool is torn down, and the final state is what
+        # the parent merge wants anyway.
+        pid = os.getpid()
+        obs_export.write_snapshot(
+            Path(_WORKER_SHARD_DIR) / f"shard-{pid:08d}.ndjson",
+            meta={"shard": f"pid-{pid}"},
+        )
+    return record
 
 
 @dataclass
@@ -101,6 +165,7 @@ class CampaignReport:
     skipped: int
     workers: int
     directory: Optional[Path] = None
+    metrics_path: Optional[Path] = None
 
     @property
     def total(self) -> int:
@@ -123,6 +188,7 @@ class CampaignEngine:
         mp_context: Optional[str] = None,
         chunksize: Optional[int] = None,
         flush_every: int = 1,
+        metrics_out: Optional[Union[str, Path]] = None,
     ) -> None:
         if workers < 1:
             raise CampaignError("workers must be >= 1")
@@ -136,6 +202,11 @@ class CampaignEngine:
             if directory is not None else None
         )
         self._mp_context = mp_context
+        self.metrics_out = Path(metrics_out) if metrics_out is not None else None
+        if self.metrics_out is not None:
+            # Requesting a metrics export IS the opt-in: enable obs before
+            # any scenario constructs its simulator/channels.
+            obs_metrics.enable()
 
     # ------------------------------------------------------------------- run
     def run(
@@ -174,6 +245,7 @@ class CampaignEngine:
         pending = [m for m in manifests if m.run_index not in completed]
         done = len(completed)
         total = len(manifests)
+        wall_before = perf_counter() if self.metrics_out is not None else 0.0
         try:
             for record in self._execute(pending):
                 completed[record["run_index"]] = record
@@ -192,6 +264,8 @@ class CampaignEngine:
             # run raises mid-campaign (resume then sees every finished run).
             if self.store is not None:
                 self.store.close()
+        if self.metrics_out is not None:
+            self._write_metrics(perf_counter() - wall_before)
         return CampaignReport(
             spec=self.spec,
             records=records,
@@ -199,6 +273,7 @@ class CampaignEngine:
             skipped=total - len(pending),
             workers=self.workers,
             directory=self.store.directory if self.store is not None else None,
+            metrics_path=self.metrics_out,
         )
 
     # --------------------------------------------------------------- workers
@@ -228,10 +303,19 @@ class CampaignEngine:
                 # ~4 chunks per worker: large enough to amortise IPC, small
                 # enough that a slow chunk cannot straggle the campaign.
                 chunksize = max(1, len(payloads) // (processes * 4))
+        shard_dir = self._shard_directory()
+        if shard_dir is not None:
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            for stale in shard_dir.glob("shard-*.ndjson"):
+                stale.unlink()
         with context.Pool(
             processes=processes,
             initializer=_pool_initializer,
-            initargs=(payloads,),
+            initargs=(
+                payloads,
+                obs_metrics.enabled(),
+                str(shard_dir) if shard_dir is not None else None,
+            ),
         ) as pool:
             # Payloads ship once via the initializer; the queue carries bare
             # indices.  imap_unordered: records checkpoint as soon as any
@@ -240,6 +324,56 @@ class CampaignEngine:
             for record in pool.imap_unordered(_worker, range(len(payloads)),
                                               chunksize=chunksize):
                 yield record
+
+    # ----------------------------------------------------------- observability
+    def _shard_directory(self) -> Optional[Path]:
+        """Sibling directory where worker processes drop metric shards."""
+        if self.metrics_out is None:
+            return None
+        return self.metrics_out.parent / (self.metrics_out.name + ".shards")
+
+    def _write_metrics(self, wall_elapsed: float) -> None:
+        """Fold parent + worker-shard snapshots into one NDJSON file.
+
+        Campaign-level aggregates (total wall time, worker count, worker
+        utilisation = busy run-seconds over ``workers * wall``) are recorded
+        in the parent registry first so they ride the normal export path.
+        """
+        reg = obs_metrics.registry()
+        shard_dir = self._shard_directory()
+        shard_paths: List[Path] = []
+        shard_groups: List[List[Dict[str, Any]]] = []
+        if shard_dir is not None and shard_dir.is_dir():
+            shard_paths = sorted(shard_dir.glob("shard-*.ndjson"))
+            shard_groups = [obs_export.read_snapshot(path) for path in shard_paths]
+        busy = 0.0
+        parent_hist = reg.get("campaign.run_wall_s")
+        if parent_hist is not None:
+            busy += parent_hist.sum
+        for lines in shard_groups:
+            for line in lines:
+                if (line.get("type") == "histogram"
+                        and line.get("name") == "campaign.run_wall_s"):
+                    busy += float(line.get("sum", 0.0))
+        reg.counter("campaign.wall_seconds_total").value += wall_elapsed
+        reg.gauge("campaign.workers", agg="max").set_max(float(self.workers))
+        if wall_elapsed > 0.0:
+            reg.gauge("campaign.worker_utilisation").set(
+                min(1.0, busy / (self.workers * wall_elapsed))
+            )
+        groups = [obs_export.snapshot_lines(meta={"source": "campaign-engine"})]
+        groups.extend(shard_groups)
+        merged = obs_export.merge_lines(groups)
+        self.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        self.metrics_out.write_text(obs_export.dump_lines(merged),
+                                    encoding="utf-8")
+        for path in shard_paths:
+            path.unlink()
+        if shard_dir is not None and shard_dir.is_dir():
+            try:
+                shard_dir.rmdir()
+            except OSError:  # pragma: no cover - foreign files left behind
+                pass
 
 
 def run_campaign(
@@ -252,10 +386,11 @@ def run_campaign(
     mp_context: Optional[str] = None,
     chunksize: Optional[int] = None,
     flush_every: int = 1,
+    metrics_out: Optional[Union[str, Path]] = None,
 ) -> CampaignReport:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
         spec, workers=workers, directory=directory, mp_context=mp_context,
-        chunksize=chunksize, flush_every=flush_every,
+        chunksize=chunksize, flush_every=flush_every, metrics_out=metrics_out,
     )
     return engine.run(resume=resume, progress=progress)

@@ -33,6 +33,8 @@ from repro.devices.pulse_oximeter import PulseOximeter, PulseOximeterConfig
 from repro.middleware.bus import BusConfig, DeviceBus
 from repro.middleware.registry import DeviceRegistry
 from repro.middleware.supervisor_host import SupervisorHost
+from repro.obs.metrics import enabled as obs_enabled
+from repro.obs.spans import tracer as obs_tracer
 from repro.patient.model import PatientModel
 from repro.patient.population import DEFAULT_PATIENT, PatientParameters
 from repro.sim.faults import FaultInjector, FaultSpec
@@ -295,11 +297,29 @@ class ClosedLoopPCASystem:
 
     # ------------------------------------------------------------------- run
     def run(self) -> PCARunResult:
-        """Build (if needed), run the scenario, and compute the result metrics."""
-        self.build()
-        assert self.simulator is not None
-        self.simulator.run(until=self.config.duration_s)
-        return self._collect()
+        """Build (if needed), run the scenario, and compute the result metrics.
+
+        With observability enabled the three phases are wrapped in sim-time
+        spans (trace seeded by the scenario seed, clock =
+        ``simulator.now``), so span ids and sim-clock endpoints are fully
+        deterministic; metrics never influence the simulation itself.
+        """
+        if not obs_enabled():
+            self.build()
+            assert self.simulator is not None
+            self.simulator.run(until=self.config.duration_s)
+            return self._collect()
+        context = obs_tracer().trace(f"pca:{self.config.seed}")
+        clock = lambda: self.simulator.now if self.simulator is not None else 0.0
+        with context.span("pca:run", clock=clock, clock_name="sim",
+                          mode=self.config.mode, seed=self.config.seed):
+            with context.span("pca:setup", clock=clock, clock_name="sim"):
+                self.build()
+            assert self.simulator is not None
+            with context.span("pca:simulate", clock=clock, clock_name="sim"):
+                self.simulator.run(until=self.config.duration_s)
+            with context.span("pca:collect", clock=clock, clock_name="sim"):
+                return self._collect()
 
     # ---------------------------------------------------------------- metrics
     def _collect(self) -> PCARunResult:

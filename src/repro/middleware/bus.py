@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.devices.base import MedicalDevice
+from repro.obs.metrics import bus_instruments
 from repro.sim.channel import Channel, ChannelConfig, Message
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
@@ -85,6 +86,9 @@ class DeviceBus:
         self._command_routes: set = set()
         self.published_count = 0
         self.forwarded_count = 0
+        # Registry-backed metrics; None unless repro.obs was enabled when
+        # this bus was constructed.
+        self._obs = bus_instruments()
 
     # ------------------------------------------------------------ attachment
     def attach_device(self, device: MedicalDevice) -> Channel:
@@ -138,6 +142,8 @@ class DeviceBus:
         """Called by devices; routes the message through the device's uplink."""
         uplink = self._make_uplink(device_id)
         self.published_count += 1
+        if self._obs is not None:
+            self._obs.published.value += 1
         if self.trace is not None:
             self.trace.event(self.simulator.now, f"bus:publish:{topic}", payload, source=device_id)
         uplink.send(device_id, topic, payload)
@@ -170,11 +176,14 @@ class DeviceBus:
         if not endpoints:
             return
         envelope = Envelope(message.payload, message.sent_at)
+        obs = self._obs
         for endpoint_id in endpoints:
             downlink = self._downlinks.get(endpoint_id)
             if downlink is None:
                 continue
             self.forwarded_count += 1
+            if obs is not None:
+                obs.forwarded.value += 1
             downlink.send(message.sender, message.topic, envelope)
 
     # ---------------------------------------------------------- subscribing
@@ -227,6 +236,8 @@ class DeviceBus:
 
             channel.subscribe(_deliver, topic=command_topic)
             self._command_routes.add(command_topic)
+        if self._obs is not None:
+            self._obs.commands.value += 1
         channel.send(sender_id, command_topic, parameters or {})
         if self.trace is not None:
             self.trace.event(

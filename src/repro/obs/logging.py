@@ -1,0 +1,83 @@
+"""Structured logging facade for user-facing tools (CLI, services).
+
+Three output modes, one call site:
+
+* ``human`` — the message string is printed verbatim (byte-compatible with
+  the bare ``print()`` calls this facade replaces).
+* ``json`` — one NDJSON object per call carrying the event name and
+  structured fields (machine-readable; the message text rides along as
+  ``msg``).
+* ``quiet`` — informational output is suppressed; errors still print.
+
+Errors always go to ``stderr`` (as before), informational output to
+``stdout``.  The facade is deliberately tiny: it is an output-shaping
+layer, not a log-routing framework, and it never buffers — ordering
+relative to exceptions and subprocess output is exactly print()'s.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Optional, TextIO
+
+MODES = ("human", "json", "quiet")
+
+
+class StructLogger:
+    """Mode-switched logger with structured fields."""
+
+    __slots__ = ("name", "mode", "_out", "_err")
+
+    def __init__(self, name: str = "repro", mode: str = "human",
+                 out: Optional[TextIO] = None,
+                 err: Optional[TextIO] = None) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.name = name
+        self.mode = mode
+        self._out = out
+        self._err = err
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def json_mode(self) -> bool:
+        return self.mode == "json"
+
+    @property
+    def quiet(self) -> bool:
+        return self.mode == "quiet"
+
+    def _emit(self, level: str, message: str, event: Optional[str],
+              stream: TextIO, fields: dict) -> None:
+        if self.mode == "json":
+            record = {"level": level, "logger": self.name,
+                      "event": event or "log"}
+            if message:
+                record["msg"] = message
+            record.update(fields)
+            print(json.dumps(record, sort_keys=True, default=str), file=stream)
+        else:
+            print(message, file=stream)
+
+    # ------------------------------------------------------------------ api
+    def info(self, message: str = "", *, event: Optional[str] = None,
+             **fields: Any) -> None:
+        """Informational output; suppressed in quiet mode."""
+        if self.mode == "quiet":
+            return
+        self._emit("info", message, event,
+                   self._out if self._out is not None else sys.stdout, fields)
+
+    def error(self, message: str = "", *, event: Optional[str] = None,
+              **fields: Any) -> None:
+        """Error output; printed in every mode, always to stderr."""
+        self._emit("error", message, event,
+                   self._err if self._err is not None else sys.stderr, fields)
+
+
+def get_logger(name: str = "repro", mode: str = "human",
+               out: Optional[TextIO] = None,
+               err: Optional[TextIO] = None) -> StructLogger:
+    """Build a :class:`StructLogger` (thin constructor wrapper)."""
+    return StructLogger(name, mode=mode, out=out, err=err)

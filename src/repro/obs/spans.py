@@ -1,0 +1,149 @@
+"""Sim-time span tracing for run lifecycle phases.
+
+A *span* covers one phase of a run (setup / run / teardown) with a start
+and end read from a pluggable clock — the owning simulator's ``now`` for
+sim-time spans, ``time.perf_counter`` for wall-time spans at the campaign
+layer.  Span and trace ids are **derived, not random**: a trace is seeded
+with the run id and every span id is a hash of ``"<seed>/<index>"``, so
+two runs of the same campaign produce byte-identical id streams (the
+export-determinism contract) and a span in a worker shard can be joined
+back to its run without any cross-process coordination.
+
+Finished spans accumulate on a :class:`SpanTracer` (the process default is
+:func:`tracer`); the NDJSON exporter drains them via :meth:`SpanTracer.lines`.
+A cap bounds memory at campaign scale — spans beyond it are counted in
+``dropped``, never silently lost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+def derive_id(seed: str) -> str:
+    """16-hex-char id deterministically derived from ``seed``."""
+    return hashlib.sha256(seed.encode("utf-8")).hexdigest()[:16]
+
+
+class Span:
+    """One finished (or in-flight) lifecycle phase."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "clock", "start",
+                 "end", "attrs")
+
+    def __init__(self, trace_id: str, span_id: str, parent_id: str, name: str,
+                 clock: str, start: float) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.clock = clock
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = {}
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def line(self) -> Dict[str, Any]:
+        record = {
+            "type": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "clock": self.clock,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<Span {self.name!r} id={self.span_id} "
+                f"[{self.start}, {self.end}] {self.clock}>")
+
+
+class TraceContext:
+    """Span factory for one run: deterministic ids, a clock, a parent stack."""
+
+    __slots__ = ("_tracer", "_seed", "trace_id", "_index", "_clock",
+                 "_clock_name", "_stack")
+
+    def __init__(self, tracer: "SpanTracer", seed: str,
+                 clock: Optional[Callable[[], float]] = None,
+                 clock_name: str = "wall") -> None:
+        self._tracer = tracer
+        self._seed = seed
+        self.trace_id = derive_id(seed)
+        self._index = 0
+        self._clock = clock if clock is not None else time.perf_counter
+        self._clock_name = clock_name
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, clock: Optional[Callable[[], float]] = None,
+             clock_name: Optional[str] = None, **attrs: Any) -> Iterator[Span]:
+        """Open a span around a ``with`` block; nested spans get parents."""
+        clk = clock if clock is not None else self._clock
+        span_id = derive_id(f"{self._seed}/{self._index}")
+        self._index += 1
+        parent = self._stack[-1].span_id if self._stack else ""
+        span = Span(self.trace_id, span_id, parent, name,
+                    clock_name if clock_name is not None else self._clock_name,
+                    clk())
+        span.attrs.update(attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = clk()
+            self._stack.pop()
+            self._tracer.add(span)
+
+
+class SpanTracer:
+    """Accumulates finished spans, bounded by ``cap``."""
+
+    def __init__(self, cap: int = 4096) -> None:
+        if cap < 1:
+            raise ValueError(f"span cap must be >= 1, got {cap!r}")
+        self.cap = cap
+        self.spans: List[Span] = []
+        self.dropped = 0
+
+    def trace(self, seed: str, clock: Optional[Callable[[], float]] = None,
+              clock_name: str = "wall") -> TraceContext:
+        """Open a deterministic trace context seeded by (typically) a run id."""
+        return TraceContext(self, str(seed), clock=clock, clock_name=clock_name)
+
+    def add(self, span: Span) -> None:
+        if len(self.spans) >= self.cap:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def lines(self) -> List[Dict[str, Any]]:
+        """Span export lines sorted by deterministic ids (stable order)."""
+        return [span.line()
+                for span in sorted(self.spans,
+                                   key=lambda s: (s.trace_id, s.span_id))]
+
+    def reset(self) -> None:
+        self.spans = []
+        self.dropped = 0
+
+
+_DEFAULT_TRACER = SpanTracer()
+
+
+def tracer() -> SpanTracer:
+    """The process-wide default tracer the NDJSON exporter drains."""
+    return _DEFAULT_TRACER

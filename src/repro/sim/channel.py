@@ -15,6 +15,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import channel_instruments
 from repro.sim.kernel import Simulator
 
 
@@ -87,7 +88,9 @@ class Channel:
     its per-tick queue, and the event drains the queue in FIFO send order.
     On the zero-jitter fast path (fixed latency, multi-topic device ticks)
     this halves-or-better the kernel events per sample without reordering
-    any deliveries within a channel.  Streaming statistics (sent/delivered/
+    any deliveries within a channel; :attr:`coalesced_ticks` and
+    :attr:`max_batch` stream how often and how large those shared ticks
+    are.  Streaming statistics (sent/delivered/
     dropped counts, mean/max
     latency) are kept for the delay-budget analyses in
     :mod:`repro.core.delays`; the full per-message history
@@ -136,6 +139,14 @@ class Channel:
         self.sent: int = 0
         self.delivered: int = 0
         self.dropped: int = 0
+        # Streaming coalescing counters (always on — they cost one compare
+        # per *kernel event*, not per message): how many delivery ticks
+        # carried more than one message, and the largest such batch.
+        self.coalesced_ticks: int = 0
+        self.max_batch: int = 0
+        # Registry-backed metrics; None unless repro.obs was enabled when
+        # this channel was constructed.
+        self._obs = channel_instruments()
         # Latency statistics stream (count is `delivered`); the full
         # per-message history is opt-in — retaining every delivery is an
         # O(events) memory leak at campaign scale.
@@ -177,12 +188,24 @@ class Channel:
         # Inlined guards: the common case (no outages, no loss, no jitter)
         # must not pay method calls per message on the hottest messaging
         # path.  This is the only place latency is sampled; the loud
-        # _require_rng failure on mutated configs is preserved.
+        # _require_rng failure on mutated configs is preserved.  The two
+        # drop causes are tested in the same short-circuit order as the old
+        # combined condition (loss is only sampled outside an outage), so
+        # rng draw sequences are unchanged.
         config = self.config
-        if (self._outages and self.in_outage(now)) or (
-            config.loss_probability > 0.0 and self._sample_loss()
-        ):
+        obs = self._obs
+        if obs is not None:
+            obs.sent.value += 1
+        if self._outages and self.in_outage(now):
             self.dropped += 1
+            if obs is not None:
+                obs.outage_hits.value += 1
+                obs.dropped.value += 1
+            return message
+        if config.loss_probability > 0.0 and self._sample_loss():
+            self.dropped += 1
+            if obs is not None:
+                obs.dropped.value += 1
             return message
 
         latency = config.latency_s
@@ -235,6 +258,15 @@ class Channel:
         # (scheduled at now, running after this one), exactly as it did when
         # every message had its own event.
         batch = self._pending.pop(time)
+        size = len(batch)
+        if size > self.max_batch:
+            self.max_batch = size
+        if size > 1:
+            self.coalesced_ticks += 1
+            obs = self._obs
+            if obs is not None:
+                obs.coalesced_ticks.value += 1
+                obs.max_batch.set_max(size)
         deliver = self._deliver
         for message in batch:
             deliver(message)
@@ -246,6 +278,10 @@ class Channel:
         self._latency_sum += latency
         if latency > self._latency_max:
             self._latency_max = latency
+        obs = self._obs
+        if obs is not None:
+            obs.delivered.value += 1
+            obs.latency.observe(latency)
         if self.retain_messages:
             self.latencies.append(latency)
             self.delivered_messages.append(delivered)
@@ -280,4 +316,6 @@ class Channel:
             "loss_rate": self.loss_rate,
             "mean_latency": self.mean_latency,
             "max_latency": self.max_latency,
+            "coalesced_ticks": float(self.coalesced_ticks),
+            "max_batch": float(self.max_batch),
         }

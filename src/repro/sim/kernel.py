@@ -17,7 +17,10 @@ from __future__ import annotations
 import itertools
 import math
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import kernel_instruments
 
 
 class SimulationError(RuntimeError):
@@ -58,7 +61,10 @@ class Event:
         if not self.cancelled:
             self.cancelled = True
             if self._in_queue and self._sim is not None:
-                self._sim._live -= 1
+                sim = self._sim
+                sim._live -= 1
+                if sim._metrics is not None:
+                    sim._metrics.events_cancelled.value += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = " cancelled" if self.cancelled else ""
@@ -89,6 +95,10 @@ class Simulator:
         self._processes: List["Process"] = []
         self._event_count = 0
         self._live = 0  # queued and not cancelled; kept exact incrementally
+        # Observability: None unless repro.obs is enabled at construction
+        # time, so the disabled hot path pays one attribute check at most.
+        self._metrics = kernel_instruments()
+        self._profiler = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -125,6 +135,11 @@ class Simulator:
         event._in_queue = True
         heappush(self._queue, (time, priority, sequence, event))
         self._live += 1
+        metrics = self._metrics
+        if metrics is not None:
+            depth = len(self._queue)
+            if depth > metrics.heap_peak:
+                metrics.heap_peak = depth
         return event
 
     def schedule_at(
@@ -149,6 +164,11 @@ class Simulator:
         event._in_queue = True
         heappush(self._queue, (time, priority, sequence, event))
         self._live += 1
+        metrics = self._metrics
+        if metrics is not None:
+            depth = len(self._queue)
+            if depth > metrics.heap_peak:
+                metrics.heap_peak = depth
         return event
 
     def call_every(
@@ -182,6 +202,15 @@ class Simulator:
         # Sentinel bounds keep the per-event checks to two comparisons.
         time_bound = math.inf if until is None else until
         count_bound = math.inf if max_events is None else max_events
+        # Hoisted observability state: with obs disabled both are None and
+        # the loop pays one local is-None check per event (profiler) plus
+        # nothing at all for metrics (accounted as deltas after the loop).
+        profiler = self._profiler
+        metrics = self._metrics
+        if metrics is not None:
+            fired_before = self._event_count
+            sim_before = self._now
+            wall_before = perf_counter()
         try:
             while queue:
                 if self._stopped:
@@ -201,12 +230,19 @@ class Simulator:
                 self._live -= 1
                 self._now = time
                 self._event_count += 1
-                event.callback()
+                if profiler is None:
+                    event.callback()
+                else:
+                    profiler.dispatch(event)
             else:
                 if until is not None and self._now < until:
                     self._now = until
         finally:
             self._running = False
+            if metrics is not None:
+                metrics.flush_run(self._event_count - fired_before,
+                                  self._now - sim_before,
+                                  perf_counter() - wall_before)
         return self._now
 
     def step(self) -> bool:
@@ -249,6 +285,20 @@ class Simulator:
                 continue
             return entry[0]
         return None
+
+    # ---------------------------------------------------------- observability
+    def attach_profiler(self, profiler) -> None:
+        """Attach a :class:`repro.obs.SamplingProfiler` to the dispatch loop.
+
+        Takes effect on the next :meth:`run` call (the loop hoists the
+        profiler reference once, so attaching mid-run has no effect on the
+        segment already executing).
+        """
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        """Remove the attached profiler (next :meth:`run` is uninstrumented)."""
+        self._profiler = None
 
     # ------------------------------------------------------------- processes
     def register(self, process: "Process") -> None:

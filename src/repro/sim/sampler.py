@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.metrics import sampler_instruments
 from repro.sim.kernel import PeriodicTask, SimulationError, Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -64,7 +65,7 @@ class BatchedTraceWriter:
     recorder so trace queries drain pending samples before returning.
     """
 
-    __slots__ = ("trace", "source", "_prefix", "_batches", "_batch_list")
+    __slots__ = ("trace", "source", "_prefix", "_batches", "_batch_list", "_obs")
 
     def __init__(self, trace: TraceRecorder, prefix: str, source: str = "") -> None:
         self.trace = trace
@@ -72,6 +73,9 @@ class BatchedTraceWriter:
         self._prefix = prefix
         self._batches: Dict[str, SignalBatch] = {}
         self._batch_list: List[SignalBatch] = []
+        # Registry-backed flush metrics; None unless repro.obs was enabled
+        # when this writer was constructed.
+        self._obs = sampler_instruments()
         trace.register_pending(self.flush)
 
     def declare(self, signal: str) -> SignalBatch:
@@ -98,12 +102,19 @@ class BatchedTraceWriter:
     def flush(self) -> None:
         """Drain every non-empty batch into the recorder via ``record_many``."""
         trace = self.trace
+        flushed = 0
         for batch in self._batch_list:
             if batch.times:
+                flushed += len(batch.times)
                 trace.record_many(batch.signal, batch.times, batch.values,
                                   source=batch.source)
                 batch.times = []
                 batch.values = []
+        obs = self._obs
+        if obs is not None and flushed:
+            obs.flushes.value += 1
+            obs.flushed_samples.value += flushed
+            obs.flush_size.observe(flushed)
 
     def detach(self) -> None:
         """Flush and unregister from the recorder.

@@ -140,7 +140,16 @@ class TestStatsEquivalence:
         sim.run()
 
         assert coalesced.latencies == ref.latencies == [0.25] * 5
-        assert coalesced.stats() == ref.stats()
+        # Latency statistics are identical; only the coalescing counters
+        # (which exist precisely to tell these two schedules apart) differ.
+        coalescing_keys = {"coalesced_ticks", "max_batch"}
+        strip = lambda stats: {k: v for k, v in stats.items()
+                               if k not in coalescing_keys}
+        assert strip(coalesced.stats()) == strip(ref.stats())
+        assert coalesced.stats()["coalesced_ticks"] == 1.0
+        assert coalesced.stats()["max_batch"] == 5.0
+        assert ref.stats()["coalesced_ticks"] == 0.0
+        assert ref.stats()["max_batch"] == 1.0
         assert coalesced.mean_latency == ref.mean_latency
         assert coalesced.max_latency == ref.max_latency
 
@@ -192,6 +201,58 @@ class TestStatsEquivalence:
         sim.run()
         assert channel.dropped == 10
         assert channel.delivered == 0
+
+
+class TestCoalescingCounters:
+    """The streaming coalesced_ticks / max_batch counters and stats() keys."""
+
+    def test_counters_start_at_zero(self):
+        sim = Simulator()
+        channel = make_channel(sim, latency_s=0.05)
+        assert channel.coalesced_ticks == 0
+        assert channel.max_batch == 0
+        stats = channel.stats()
+        assert stats["coalesced_ticks"] == 0.0
+        assert stats["max_batch"] == 0.0
+
+    def test_single_message_ticks_never_count_as_coalesced(self):
+        sim = Simulator()
+        channel = make_channel(sim, latency_s=0.05)
+        channel.subscribe(lambda m: None)
+        for tick in range(4):
+            sim.schedule(tick * 1.0, lambda: channel.send("a", "t", 0))
+        sim.run()
+        assert channel.delivered == 4
+        assert channel.coalesced_ticks == 0
+        assert channel.max_batch == 1
+
+    def test_counters_track_ticks_and_largest_batch(self):
+        sim = Simulator()
+        channel = make_channel(sim, latency_s=0.05)
+        channel.subscribe(lambda m: None)
+        # Tick 1: batch of 3; tick 2: batch of 2; tick 3: single message.
+        for _ in range(3):
+            channel.send("a", "t", 0)
+        sim.schedule(1.0, lambda: [channel.send("a", "t", 0) for _ in range(2)])
+        sim.schedule(2.0, lambda: channel.send("a", "t", 0))
+        sim.run()
+        assert channel.delivered == 6
+        assert channel.coalesced_ticks == 2
+        assert channel.max_batch == 3
+        stats = channel.stats()
+        assert stats["coalesced_ticks"] == 2.0
+        assert stats["max_batch"] == 3.0
+
+    def test_max_batch_is_monotone_across_ticks(self):
+        sim = Simulator()
+        channel = make_channel(sim, latency_s=0.05)
+        channel.subscribe(lambda m: None)
+        sim.schedule(0.0, lambda: [channel.send("a", "t", 0) for _ in range(4)])
+        sim.schedule(1.0, lambda: [channel.send("a", "t", 0) for _ in range(2)])
+        sim.run()
+        # The later, smaller batch must not shrink the recorded maximum.
+        assert channel.max_batch == 4
+        assert channel.coalesced_ticks == 2
 
 
 #: Two devices publish two topics each at coinciding ticks to endpoints whose
