@@ -14,7 +14,11 @@ Carlo campaigns:
   ``multiprocessing`` with a deterministic serial fallback; serial and
   parallel campaigns produce byte-identical finalized results.
 * :mod:`~repro.campaign.store` -- streaming JSONL result store with
-  checkpoint/resume of partially completed campaigns.
+  checkpoint/resume of partially completed campaigns and a quarantine
+  file (``errors.jsonl``) for failed runs.
+* :mod:`~repro.campaign.resilience` -- fault-tolerant execution: bounded
+  deterministic retry of transient failures, structured error capture,
+  and a parent-side watchdog that survives hung and killed workers.
 * :mod:`~repro.campaign.aggregate` -- grouped aggregation feeding
   :mod:`repro.analysis` (summary tables, safety outcomes) over thousands
   of stored runs.
@@ -29,6 +33,13 @@ from repro.campaign.aggregate import (
     summarise_metric,
 )
 from repro.campaign.engine import CampaignEngine, CampaignReport, run_campaign
+from repro.campaign.resilience import (
+    ResilienceConfig,
+    RetryPolicy,
+    TransientError,
+    current_attempt,
+    in_worker,
+)
 from repro.campaign.registry import (
     CampaignError,
     ScenarioSpec,
@@ -43,22 +54,28 @@ from repro.campaign.spec import (
     cohort_patient,
     patient_from_params,
 )
-from repro.campaign.store import ResultStore, load_results
+from repro.campaign.store import ResultStore, load_errors, load_results
 
 __all__ = [
     "CampaignEngine",
     "CampaignError",
     "CampaignReport",
     "CampaignSpec",
+    "ResilienceConfig",
     "ResultStore",
+    "RetryPolicy",
     "RunManifest",
     "ScenarioSpec",
+    "TransientError",
     "campaign_scenario",
     "campaign_table",
     "cohort_patient",
+    "current_attempt",
     "get_scenario",
     "group_records",
+    "in_worker",
     "list_scenarios",
+    "load_errors",
     "load_results",
     "patient_from_params",
     "register_scenario",

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.campaign.aggregate import campaign_table
 from repro.campaign.engine import run_campaign
 from repro.campaign.registry import CampaignError, get_scenario, list_scenarios
+from repro.campaign.resilience import ResilienceConfig, RetryPolicy
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore, load_results
 from repro.obs.logging import StructLogger, get_logger
@@ -75,6 +76,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-out", default=None, metavar="PATH",
                      help="enable observability and write the merged campaign "
                           "metrics snapshot (NDJSON) to PATH")
+    run.add_argument("--isolate-failures", action="store_true",
+                     help="quarantine failing runs to errors.jsonl instead of "
+                          "aborting the campaign (resume re-dispatches them)")
+    run.add_argument("--retries", type=int, default=3, metavar="N",
+                     help="with --isolate-failures: total attempts per run for "
+                          "transient failures (default 3; 1 disables retry)")
+    run.add_argument("--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+                     help="with --isolate-failures: base backoff before a "
+                          "retry, doubled per attempt with seeded jitter "
+                          "(default 0 = retry immediately)")
+    run.add_argument("--run-timeout", type=float, default=None, metavar="SECONDS",
+                     help="with --isolate-failures and --workers > 1: per-run "
+                          "wall-clock budget; a run exceeding it is "
+                          "quarantined and its worker killed and respawned")
 
     report = commands.add_parser("report", parents=[output],
                                  help="summarise a stored campaign")
@@ -171,6 +186,16 @@ def _cmd_run(args: argparse.Namespace, log: StructLogger) -> int:
                  event="progress", done=done, total=total_runs,
                  run_id=record["run_id"])
 
+    resilience = None
+    if args.isolate_failures:
+        resilience = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=args.retries,
+                              backoff_base_s=args.retry_backoff),
+            run_timeout_s=args.run_timeout,
+        )
+    elif args.run_timeout is not None:
+        raise CampaignError("--run-timeout requires --isolate-failures")
+
     report = run_campaign(
         spec,
         workers=args.workers,
@@ -180,6 +205,7 @@ def _cmd_run(args: argparse.Namespace, log: StructLogger) -> int:
         chunksize=args.chunksize,
         flush_every=args.flush_every,
         metrics_out=args.metrics_out,
+        resilience=resilience,
     )
     where = f" -> {report.directory}" if report.directory else ""
     log.info(f"completed {report.total} runs "
@@ -187,6 +213,20 @@ def _cmd_run(args: argparse.Namespace, log: StructLogger) -> int:
              event="campaign-done", total=report.total, executed=report.executed,
              skipped=report.skipped,
              directory=str(report.directory) if report.directory else None)
+    if resilience is not None:
+        log.info(f"outcomes: {report.ok} ok ({report.retried} after retry), "
+                 f"{report.quarantined} quarantined "
+                 f"({report.timed_out} timed out), "
+                 f"{report.worker_restarts} worker restarts",
+                 event="campaign-outcomes", ok=report.ok,
+                 retried=report.retried, quarantined=report.quarantined,
+                 timed_out=report.timed_out,
+                 worker_restarts=report.worker_restarts)
+        if report.quarantined and report.directory is not None:
+            log.info(f"quarantined runs -> {report.directory / 'errors.jsonl'} "
+                     "(re-run with --resume to re-dispatch them)",
+                     event="campaign-quarantine",
+                     errors=str(report.directory / "errors.jsonl"))
     if report.metrics_path is not None:
         log.info(f"metrics snapshot -> {report.metrics_path}",
                  event="metrics-written", path=str(report.metrics_path))

@@ -22,12 +22,23 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.campaign import resilience as _resilience
 from repro.campaign.registry import CampaignError, get_scenario
+from repro.campaign.resilience import (
+    OK,
+    TIMEOUT,
+    Heartbeat,
+    Outcome,
+    ResilienceConfig,
+    ResilientDispatcher,
+    RetryPolicy,
+    execute_with_capture,
+)
 from repro.campaign.spec import CampaignSpec, RunManifest
 from repro.campaign.store import ResultStore
 from repro.obs import export as obs_export
@@ -116,24 +127,56 @@ _WORKER_PAYLOADS: List[Tuple[int, str, str, Dict[str, Any], int]] = []
 #: Where this worker process writes its cumulative metrics shard (or None).
 _WORKER_SHARD_DIR: Optional[str] = None
 
+#: Retry policy for resilient workers (None = legacy fail-fast workers).
+_WORKER_RETRY_POLICY: Optional[RetryPolicy] = None
+
+#: Heartbeat writer for resilient workers (None = no watchdog).
+_WORKER_HEARTBEAT: Optional[Heartbeat] = None
+
 
 def _pool_initializer(
     payloads: List[Tuple[int, str, str, Dict[str, Any], int]],
     obs_on: bool = False,
     shard_dir: Optional[str] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    heartbeat_dir: Optional[str] = None,
 ) -> None:
     """Install the campaign's payload table in a fresh worker process.
 
     ``obs_on`` carries the parent's observability switch across the process
     boundary explicitly (a programmatic ``enable()`` in the parent is not
     visible to spawn-started workers); ``shard_dir`` is where this worker
-    drops its cumulative metrics shard after each run.
+    drops its cumulative metrics shard after each run.  ``retry_policy`` /
+    ``heartbeat_dir`` are only set for resilient campaigns; the pool
+    respawning a killed worker re-runs this initializer, so replacements
+    come up with the same configuration.
     """
     global _WORKER_PAYLOADS, _WORKER_SHARD_DIR
+    global _WORKER_RETRY_POLICY, _WORKER_HEARTBEAT
     _WORKER_PAYLOADS = payloads
     _WORKER_SHARD_DIR = shard_dir
+    _WORKER_RETRY_POLICY = retry_policy
+    _WORKER_HEARTBEAT = (
+        Heartbeat(heartbeat_dir) if heartbeat_dir is not None else None
+    )
+    if retry_policy is not None:
+        _resilience._mark_worker()
     if obs_on:
         obs_metrics.enable()
+
+
+def _write_worker_shard() -> None:
+    """Rewrite this worker's cumulative metrics snapshot (if sharding)."""
+    if _WORKER_SHARD_DIR is None:
+        return
+    # Rewrite the full cumulative snapshot after every run: shards stay
+    # valid whenever the pool is torn down, and the final state is what
+    # the parent merge wants anyway.
+    pid = os.getpid()
+    obs_export.write_snapshot(
+        Path(_WORKER_SHARD_DIR) / f"shard-{pid:08d}.ndjson",
+        meta={"shard": f"pid-{pid}"},
+    )
 
 
 def _worker(index: int) -> Dict[str, Any]:
@@ -143,21 +186,56 @@ def _worker(index: int) -> Dict[str, Any]:
         RunManifest(run_index=run_index, run_id=run_id, scenario=scenario,
                     params=params, seed=seed)
     )
-    if _WORKER_SHARD_DIR is not None:
-        # Rewrite the full cumulative snapshot after every run: shards stay
-        # valid whenever the pool is torn down, and the final state is what
-        # the parent merge wants anyway.
-        pid = os.getpid()
-        obs_export.write_snapshot(
-            Path(_WORKER_SHARD_DIR) / f"shard-{pid:08d}.ndjson",
-            meta={"shard": f"pid-{pid}"},
-        )
+    _write_worker_shard()
     return record
+
+
+def _note_retry() -> None:
+    """Count one in-worker retry in this process's metrics registry."""
+    instruments = obs_metrics.campaign_instruments()
+    if instruments is not None:
+        instruments.runs_retried.value += 1
+
+
+def _resilient_worker(index: int) -> Outcome:
+    """Pool entry point for resilient campaigns: never raises for run failures.
+
+    Writes a heartbeat file while the run executes (the parent watchdog
+    reads it to enforce timeouts and detect worker death) and returns an
+    :data:`Outcome` tuple instead of propagating exceptions, so one bad run
+    cannot poison the pool.
+    """
+    run_index, run_id, scenario, params, seed = _WORKER_PAYLOADS[index]
+    manifest = RunManifest(run_index=run_index, run_id=run_id,
+                           scenario=scenario, params=params, seed=seed)
+    heartbeat = _WORKER_HEARTBEAT
+    if heartbeat is not None:
+        heartbeat.start(index)
+    try:
+        outcome = execute_with_capture(
+            manifest,
+            _WORKER_RETRY_POLICY or RetryPolicy(),
+            on_retry=_note_retry,
+        )
+    finally:
+        if heartbeat is not None:
+            heartbeat.finish(index)
+    _write_worker_shard()
+    return outcome
 
 
 @dataclass
 class CampaignReport:
-    """What a finished (or resumed-to-completion) campaign hands back."""
+    """What a finished (or resumed-to-completion) campaign hands back.
+
+    With resilience enabled, the failure-path counters separate the runs
+    that finished cleanly (``ok``), finished after in-worker retries
+    (``retried``, a subset of ``ok``), were quarantined to ``errors.jsonl``
+    (``quarantined``, of which ``timed_out`` exceeded their wall-clock
+    budget), and how many worker processes were killed or lost along the
+    way (``worker_restarts``).  Without resilience every executed run is
+    ``ok`` (a failure would have raised instead).
+    """
 
     spec: CampaignSpec
     records: List[Dict[str, Any]]
@@ -166,6 +244,12 @@ class CampaignReport:
     workers: int
     directory: Optional[Path] = None
     metrics_path: Optional[Path] = None
+    ok: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    timed_out: int = 0
+    worker_restarts: int = 0
+    errors: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -189,6 +273,7 @@ class CampaignEngine:
         chunksize: Optional[int] = None,
         flush_every: int = 1,
         metrics_out: Optional[Union[str, Path]] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         if workers < 1:
             raise CampaignError("workers must be >= 1")
@@ -202,6 +287,8 @@ class CampaignEngine:
             if directory is not None else None
         )
         self._mp_context = mp_context
+        self.resilience = resilience
+        self._dispatch_stats: Dict[str, int] = {}
         self.metrics_out = Path(metrics_out) if metrics_out is not None else None
         if self.metrics_out is not None:
             # Requesting a metrics export IS the opt-in: enable obs before
@@ -219,7 +306,10 @@ class CampaignEngine:
 
         With ``resume=True`` (and a store), runs already present in
         ``results.jsonl`` are skipped — re-running an interrupted campaign
-        picks up exactly where it stopped.
+        picks up exactly where it stopped.  Quarantined runs are *not*
+        skipped: ``errors.jsonl`` is reset and every previously failed run
+        is re-dispatched (it either succeeds this time or quarantines
+        afresh).
         """
         manifests = self.spec.expand()
         completed: Dict[int, Dict[str, Any]] = {}
@@ -232,6 +322,7 @@ class CampaignEngine:
             self.store.check_manifest(self.spec, manifests)
             if resume:
                 self.store.repair()
+                self.store.reset_errors()
                 completed = self.store.completed()
             elif self.store.results_path.exists():
                 # Even a torn, record-less file means a previous attempt ran
@@ -245,18 +336,33 @@ class CampaignEngine:
         pending = [m for m in manifests if m.run_index not in completed]
         done = len(completed)
         total = len(manifests)
+        ok = retried = quarantined = timed_out = 0
+        errors: List[Dict[str, Any]] = []
+        self._dispatch_stats = {}
         wall_before = perf_counter() if self.metrics_out is not None else 0.0
         try:
-            for record in self._execute(pending):
-                completed[record["run_index"]] = record
-                if self.store is not None:
-                    self.store.append(record)
+            for kind, record, attempts in self._execute(pending):
+                if kind == OK:
+                    completed[record["run_index"]] = record
+                    if self.store is not None:
+                        self.store.append(record)
+                    ok += 1
+                    if attempts > 1:
+                        retried += 1
+                else:
+                    quarantined += 1
+                    if record["error"]["classification"] == TIMEOUT:
+                        timed_out += 1
+                    errors.append(record)
+                    if self.store is not None:
+                        self.store.append_error(record)
                 done += 1
                 if progress is not None:
                     progress(done, total, record)
 
             if self.store is not None:
                 records = self.store.finalize()
+                self.store.finalize_errors()
             else:
                 records = [completed[index] for index in sorted(completed)]
         finally:
@@ -264,6 +370,13 @@ class CampaignEngine:
             # run raises mid-campaign (resume then sees every finished run).
             if self.store is not None:
                 self.store.close()
+        worker_restarts = self._dispatch_stats.get("worker_restarts", 0)
+        instruments = obs_metrics.campaign_instruments()
+        if instruments is not None:
+            # Parent-side failure counters (in-worker retries are counted in
+            # the worker shards; quarantine decisions happen here).
+            instruments.runs_quarantined.value += quarantined
+            instruments.worker_restarts.value += worker_restarts
         if self.metrics_out is not None:
             self._write_metrics(perf_counter() - wall_before)
         return CampaignReport(
@@ -274,14 +387,36 @@ class CampaignEngine:
             workers=self.workers,
             directory=self.store.directory if self.store is not None else None,
             metrics_path=self.metrics_out,
+            ok=ok,
+            retried=retried,
+            quarantined=quarantined,
+            timed_out=timed_out,
+            worker_restarts=worker_restarts,
+            errors=errors,
         )
 
     # --------------------------------------------------------------- workers
-    def _execute(self, pending: List[RunManifest]) -> Iterable[Dict[str, Any]]:
+    def _execute(self, pending: List[RunManifest]) -> Iterable[Outcome]:
+        """Yield one :data:`Outcome` tuple per pending run.
+
+        Without resilience, runs execute exactly as before (failures raise)
+        and successful records are wrapped as ``("ok", record, 1)``.
+        """
         if self.workers == 1 or len(pending) <= 1:
+            yield from self._execute_serial(pending)
+        else:
+            yield from self._execute_parallel(pending)
+
+    def _execute_serial(self, pending: List[RunManifest]) -> Iterable[Outcome]:
+        if self.resilience is None:
             for manifest in pending:
-                yield execute_manifest(manifest)
+                yield (OK, execute_manifest(manifest), 1)
             return
+        policy = self.resilience.retry
+        for manifest in pending:
+            yield execute_with_capture(manifest, policy, on_retry=_note_retry)
+
+    def _execute_parallel(self, pending: List[RunManifest]) -> Iterable[Outcome]:
         payloads = [
             (m.run_index, m.run_id, m.scenario, m.params, m.seed) for m in pending
         ]
@@ -308,6 +443,28 @@ class CampaignEngine:
             shard_dir.mkdir(parents=True, exist_ok=True)
             for stale in shard_dir.glob("shard-*.ndjson"):
                 stale.unlink()
+        if self.resilience is not None:
+            heartbeat = Heartbeat()
+            with context.Pool(
+                processes=processes,
+                initializer=_pool_initializer,
+                initargs=(
+                    payloads,
+                    obs_metrics.enabled(),
+                    str(shard_dir) if shard_dir is not None else None,
+                    self.resilience.retry,
+                    str(heartbeat.directory),
+                ),
+            ) as pool:
+                dispatcher = ResilientDispatcher(
+                    pool, pending, self.resilience, heartbeat,
+                    _resilient_worker, processes, on_retry=_note_retry,
+                )
+                try:
+                    yield from dispatcher.outcomes()
+                finally:
+                    self._dispatch_stats = dict(dispatcher.stats)
+            return
         with context.Pool(
             processes=processes,
             initializer=_pool_initializer,
@@ -323,7 +480,7 @@ class CampaignEngine:
             # the report sort.
             for record in pool.imap_unordered(_worker, range(len(payloads)),
                                               chunksize=chunksize):
-                yield record
+                yield (OK, record, 1)
 
     # ----------------------------------------------------------- observability
     def _shard_directory(self) -> Optional[Path]:
@@ -387,10 +544,12 @@ def run_campaign(
     chunksize: Optional[int] = None,
     flush_every: int = 1,
     metrics_out: Optional[Union[str, Path]] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> CampaignReport:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
         spec, workers=workers, directory=directory, mp_context=mp_context,
         chunksize=chunksize, flush_every=flush_every, metrics_out=metrics_out,
+        resilience=resilience,
     )
     return engine.run(resume=resume, progress=progress)

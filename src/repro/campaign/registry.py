@@ -41,6 +41,11 @@ class ScenarioSpec:
     supports_cohort:
         Whether the scenario consumes the auto-injected ``patient_index`` /
         ``cohort_seed`` parameters produced by cohort expansion.
+    supports_faults:
+        Whether the scenario honours the auto-injected ``fault_plan``
+        parameter produced by a campaign spec's ``faults`` block (arming
+        the compiled :class:`~repro.sim.faults.FaultSpec` schedule on its
+        fault injector).
     spec_validator:
         Optional hook called with the whole campaign spec during
         :meth:`CampaignSpec.validate`, for scenario-specific constraints
@@ -53,16 +58,35 @@ class ScenarioSpec:
     defaults: Mapping[str, Any] = field(default_factory=dict)
     result_fields: Tuple[str, ...] = ()
     supports_cohort: bool = False
+    supports_faults: bool = False
     description: str = ""
     spec_validator: Optional[Callable[[Any], None]] = field(default=None, compare=False)
 
     #: Parameters the engine injects itself; always legal for cohort scenarios.
     AUTO_PARAMS = ("patient_index", "cohort_seed", "repeat")
 
+    #: Fault-expansion parameters the engine injects for fault-capable
+    #: scenarios: the compiled plan itself plus per-axis values such as
+    #: ``fault0.duration`` (kept in params so reports can group by them).
+    FAULT_PARAM = "fault_plan"
+    FAULT_AXIS_PREFIX = "fault"
+
+    @classmethod
+    def is_fault_axis(cls, name: str) -> bool:
+        """Whether ``name`` is an engine-injected fault sweep axis."""
+        prefix, dot, _field = name.partition(".")
+        return (dot == "." and prefix.startswith(cls.FAULT_AXIS_PREFIX)
+                and prefix[len(cls.FAULT_AXIS_PREFIX):].isdigit())
+
     def validate_params(self, params: Mapping[str, Any]) -> None:
         """Reject parameters the scenario does not recognise."""
         allowed = set(self.defaults) | set(self.AUTO_PARAMS)
-        unknown = sorted(set(params) - allowed)
+        if self.supports_faults:
+            allowed.add(self.FAULT_PARAM)
+        unknown = sorted(
+            key for key in set(params) - allowed
+            if not (self.supports_faults and self.is_fault_axis(key))
+        )
         if unknown:
             raise CampaignError(
                 f"scenario {self.name!r} does not accept parameters {unknown}; "
@@ -93,6 +117,7 @@ def campaign_scenario(
     defaults: Optional[Mapping[str, Any]] = None,
     result_fields: Tuple[str, ...] = (),
     supports_cohort: bool = False,
+    supports_faults: bool = False,
     description: str = "",
     spec_validator: Optional[Callable[[Any], None]] = None,
 ) -> Callable[[ScenarioRunner], ScenarioRunner]:
@@ -107,6 +132,7 @@ def campaign_scenario(
                 defaults=dict(defaults or {}),
                 result_fields=tuple(result_fields),
                 supports_cohort=supports_cohort,
+                supports_faults=supports_faults,
                 description=description or (doc_first_line[0] if doc_first_line else ""),
                 spec_validator=spec_validator,
             )

@@ -1,0 +1,538 @@
+"""Fault-tolerant campaign execution: error capture, retries, and watchdog.
+
+The paper's core requirement (Section II(c)) is a supervisor "tolerant to
+faults that interfere with the control loop"; at population scale the same
+discipline must apply to the campaign engine itself — one bad run out of a
+million must not kill the job.  This module provides the three layers the
+engine composes when resilience is enabled:
+
+* **Structured error capture** (:func:`execute_with_capture`): a failing
+  run yields an *error record* — exception class, message, traceback
+  digest, attempt count, wall time, transient/deterministic classification
+  — instead of an exception that poisons the worker pool.  Error records
+  are quarantined to ``errors.jsonl`` by the store and re-dispatched on
+  resume.
+* **Bounded deterministic retry** (:class:`RetryPolicy`): transient
+  failures retry in-worker with seeded-jitter backoff derived from
+  ``derive_seed(manifest.seed, attempt)``, so reruns of a flaky run are
+  reproducible; deterministic failures quarantine immediately.
+* **Worker-death and timeout tolerance** (:class:`ResilientDispatcher`):
+  a parent-side watchdog dispatches runs with ``apply_async``, reads
+  per-run heartbeat files written by the workers, SIGKILLs wedged workers
+  whose run exceeds its wall-clock budget (``multiprocessing.Pool``
+  respawns the process), re-dispatches runs whose worker died under them,
+  and degrades gracefully to in-parent serial execution when the pool
+  cannot be kept alive.
+
+Everything here is off the happy path: a campaign run with no
+:class:`ResilienceConfig` executes exactly the same code as before.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.registry import CampaignError
+from repro.campaign.spec import RunManifest
+from repro.sim.random import derive_seed
+
+#: Outcome tuples the engine consumes: ("ok", record, attempts) or
+#: ("error", error_record).  Error records carry their attempt count inside.
+Outcome = Tuple[str, Dict[str, Any], int]
+
+OK = "ok"
+ERROR = "error"
+
+#: Error classifications recorded in ``errors.jsonl``.
+TRANSIENT = "transient"
+DETERMINISTIC = "deterministic"
+TIMEOUT = "timeout"
+WORKER_LOST = "worker_lost"
+
+
+class TransientError(RuntimeError):
+    """Marker for failures worth retrying (I/O hiccups, resource races).
+
+    Scenario runners raise this (or any type named in
+    :attr:`RetryPolicy.transient_types`) to request an in-worker retry
+    instead of immediate quarantine.
+    """
+
+
+# ----------------------------------------------------------------- attempts
+#: 1-based attempt number of the run currently executing in this process.
+_CURRENT_ATTEMPT = 1
+
+#: True inside a resilient pool worker (set by the worker initializer).
+_IN_WORKER = False
+
+
+def current_attempt() -> int:
+    """The 1-based attempt number of the run executing right now.
+
+    Scenario runners may consult this to make transient failures converge
+    (the chaos scenario's ``flaky`` behaviour succeeds once
+    ``current_attempt() >= fail_attempts``).
+    """
+    return _CURRENT_ATTEMPT
+
+
+def in_worker() -> bool:
+    """Whether this process is a resilient campaign pool worker."""
+    return _IN_WORKER
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+# -------------------------------------------------------------- retry policy
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministically jittered retry for transient failures.
+
+    max_attempts:
+        Total tries per run (1 = never retry).
+    backoff_base_s / backoff_factor:
+        Attempt ``n`` (1-based) sleeps ``base * factor**(n-1)`` seconds
+        before retrying, capped at ``backoff_max_s``.
+    backoff_jitter:
+        Fraction of the backoff added as seeded jitter.  The jitter for
+        attempt ``n`` of a run derives from ``derive_seed(run_seed,
+        "retry:n")`` — identical on every rerun of the campaign, so retry
+        timing never introduces nondeterminism.
+    transient_types:
+        Exception type *names* classified as transient (matched against the
+        exception class, its bases, and its ``__cause__`` chain, so a
+        runner error wrapped in :class:`CampaignError` keeps its
+        classification).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    backoff_jitter: float = 0.5
+    transient_types: Tuple[str, ...] = (
+        "TransientError", "ConnectionError", "BrokenPipeError", "EOFError",
+        "TimeoutError",
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CampaignError("retry max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise CampaignError("retry backoff must be non-negative")
+
+    def classify(self, error: BaseException) -> str:
+        """``"transient"`` or ``"deterministic"`` for ``error``."""
+        wanted = set(self.transient_types)
+        seen = set()
+        current: Optional[BaseException] = error
+        while current is not None and id(current) not in seen:
+            seen.add(id(current))
+            for klass in type(current).__mro__:
+                if klass.__name__ in wanted:
+                    return TRANSIENT
+            current = current.__cause__ or current.__context__
+        return DETERMINISTIC
+
+    def backoff_s(self, run_seed: int, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based count of failures so far)."""
+        base = min(self.backoff_max_s,
+                   self.backoff_base_s * (self.backoff_factor ** (attempt - 1)))
+        if base <= 0.0:
+            return 0.0
+        jitter_seed = derive_seed(run_seed, f"retry:{attempt}")
+        unit = (jitter_seed % 10_000) / 10_000.0  # deterministic U[0, 1)
+        return base * (1.0 + self.backoff_jitter * unit)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything the engine needs to survive failing runs and workers.
+
+    retry:
+        In-worker retry policy for transient errors.
+    run_timeout_s:
+        Per-run wall-clock budget.  Only enforceable with ``workers > 1``
+        (the parent cannot preempt its own thread); a run that exceeds it
+        is quarantined as ``timeout`` and its worker is killed and
+        respawned.
+    max_dispatch_attempts:
+        How many times a run is re-dispatched after its *worker* died under
+        it (distinct from in-worker retries: the run itself never raised).
+    max_worker_restarts:
+        After this many killed/lost workers the dispatcher stops trusting
+        the pool and degrades to in-parent serial execution for the
+        survivors (timeouts can then no longer be enforced, but the
+        campaign completes).
+    heartbeat_grace_s:
+        Extra wall-clock allowance between dispatch and the worker's
+        heartbeat appearing, absorbing pool scheduling delay.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    run_timeout_s: Optional[float] = None
+    max_dispatch_attempts: int = 2
+    max_worker_restarts: int = 3
+    heartbeat_grace_s: float = 5.0
+    poll_interval_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise CampaignError("run_timeout_s must be positive")
+        if self.max_dispatch_attempts < 1:
+            raise CampaignError("max_dispatch_attempts must be >= 1")
+
+
+# ------------------------------------------------------------ error records
+def _traceback_digest(error: BaseException) -> Tuple[str, str]:
+    """(sha256 digest, last frame summary) of the error's traceback."""
+    text = "".join(traceback.format_exception(
+        type(error), error, error.__traceback__))
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    frames = traceback.extract_tb(error.__traceback__)
+    where = ""
+    if frames:
+        last = frames[-1]
+        where = f"{Path(last.filename).name}:{last.lineno} in {last.name}"
+    return digest, where
+
+
+def error_record(
+    manifest: RunManifest,
+    *,
+    classification: str,
+    attempts: int,
+    wall_s: float,
+    error: Optional[BaseException] = None,
+    message: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build the quarantine record for one failed run.
+
+    Mirrors the result-record envelope (run identity + params) so
+    ``errors.jsonl`` is self-describing, and nests the failure detail under
+    ``"error"``.  Synthetic failures (timeouts, lost workers) pass
+    ``message`` instead of an exception.
+    """
+    if error is not None:
+        digest, where = _traceback_digest(error)
+        detail = {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback_digest": digest,
+            "where": where,
+        }
+    else:
+        detail = {"type": classification, "message": message or "", }
+    detail["classification"] = classification
+    detail["attempts"] = attempts
+    detail["wall_s"] = round(wall_s, 6)
+    return {
+        "run_index": manifest.run_index,
+        "run_id": manifest.run_id,
+        "scenario": manifest.scenario,
+        "seed": manifest.seed,
+        "params": dict(manifest.params),
+        "error": detail,
+    }
+
+
+def execute_with_capture(
+    manifest: RunManifest,
+    policy: RetryPolicy,
+    *,
+    execute: Optional[Callable[[RunManifest], Dict[str, Any]]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[], None]] = None,
+) -> Outcome:
+    """Run one manifest, retrying transients; never raises for run failures.
+
+    Returns ``("ok", record, attempts)`` or ``("error", error_record,
+    attempts)``.  ``KeyboardInterrupt`` / ``SystemExit`` still propagate —
+    they are operator intent, not run failures.
+    """
+    global _CURRENT_ATTEMPT
+    if execute is None:
+        from repro.campaign.engine import execute_manifest
+        execute = execute_manifest
+    attempts = 0
+    wall_start = time.perf_counter()
+    while True:
+        attempts += 1
+        _CURRENT_ATTEMPT = attempts
+        try:
+            record = execute(manifest)
+            _CURRENT_ATTEMPT = 1
+            return (OK, record, attempts)
+        except (KeyboardInterrupt, SystemExit):
+            _CURRENT_ATTEMPT = 1
+            raise
+        except BaseException as error:  # noqa: BLE001 - capture is the point
+            classification = policy.classify(error)
+            if classification == TRANSIENT and attempts < policy.max_attempts:
+                if on_retry is not None:
+                    on_retry()
+                delay = policy.backoff_s(manifest.seed, attempts)
+                if delay > 0.0:
+                    sleep(delay)
+                continue
+            _CURRENT_ATTEMPT = 1
+            return (ERROR,
+                    error_record(manifest, classification=classification,
+                                 attempts=attempts,
+                                 wall_s=time.perf_counter() - wall_start,
+                                 error=error),
+                    attempts)
+
+
+# ----------------------------------------------------------------- watchdog
+class Heartbeat:
+    """Per-run heartbeat files linking a dispatched run to its worker pid.
+
+    A worker touches ``run-<index>.hb`` (containing ``pid started_at``)
+    when it picks the run up and removes it on completion; the parent
+    watchdog reads it to (a) start the run's wall-clock budget at actual
+    pickup rather than dispatch, (b) tell a *dead* worker (re-dispatch the
+    run) from a *wedged* one (kill it and quarantine the run).
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = Path(
+            directory if directory is not None
+            else tempfile.mkdtemp(prefix="repro-campaign-hb-"))
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, run_index: int) -> Path:
+        return self.directory / f"run-{run_index:08d}.hb"
+
+    # Worker side -------------------------------------------------------
+    def start(self, run_index: int) -> None:
+        try:
+            self.path(run_index).write_text(
+                f"{os.getpid()} {time.time()}", encoding="utf-8")
+        except OSError:  # pragma: no cover - scratch dir vanished
+            pass
+
+    def finish(self, run_index: int) -> None:
+        try:
+            self.path(run_index).unlink()
+        except OSError:
+            pass
+
+    # Parent side -------------------------------------------------------
+    def read(self, run_index: int) -> Optional[Tuple[int, float]]:
+        """(pid, started_at) if the worker has picked the run up."""
+        try:
+            parts = self.path(run_index).read_text(encoding="utf-8").split()
+            return int(parts[0]), float(parts[1])
+        except (OSError, ValueError, IndexError):
+            return None
+
+    def cleanup(self) -> None:
+        try:
+            for stale in self.directory.glob("run-*.hb"):
+                stale.unlink()
+            self.directory.rmdir()
+        except OSError:  # pragma: no cover - foreign files left behind
+            pass
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (POSIX signal 0)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - EPERM etc: assume alive
+        return True
+    return True
+
+
+def kill_worker(pid: int) -> bool:
+    """SIGKILL a wedged pool worker; the pool respawns a replacement."""
+    try:
+        os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+    except OSError:
+        return False
+    return True
+
+
+@dataclass
+class _InFlight:
+    manifest: RunManifest
+    payload_index: int
+    result: Any  # multiprocessing AsyncResult
+    dispatched_at: float
+    dispatch_attempts: int
+
+
+class ResilientDispatcher:
+    """Parent-side watchdog loop over an ``apply_async`` worker pool.
+
+    The engine hands it a live pool plus the pending manifests; it yields
+    :data:`Outcome` tuples as runs finish, survives worker death (re-
+    dispatch, bounded), enforces per-run timeouts (targeted SIGKILL of the
+    wedged worker — the pool respawns it), and falls back to in-parent
+    serial execution once ``max_worker_restarts`` is exhausted.  The
+    ``stats`` dict exposes ``worker_restarts`` / ``timed_out`` /
+    ``redispatched`` for the campaign report.
+    """
+
+    def __init__(
+        self,
+        pool: Any,
+        manifests: List[RunManifest],
+        config: ResilienceConfig,
+        heartbeat: Heartbeat,
+        worker: Callable[[int], Outcome],
+        processes: int,
+        on_retry: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.pool = pool
+        self.manifests = manifests
+        self.config = config
+        self.heartbeat = heartbeat
+        self.worker = worker
+        self.processes = processes
+        self.on_retry = on_retry
+        self.stats = {"worker_restarts": 0, "timed_out": 0, "redispatched": 0}
+        self._queue: List[Tuple[int, int]] = [
+            (i, 1) for i in range(len(manifests))]
+        self._inflight: Dict[int, _InFlight] = {}
+        self._degraded = False
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, payload_index: int, attempt: int) -> None:
+        self._inflight[payload_index] = _InFlight(
+            manifest=self.manifests[payload_index],
+            payload_index=payload_index,
+            result=self.pool.apply_async(self.worker, (payload_index,)),
+            dispatched_at=time.monotonic(),
+            dispatch_attempts=attempt,
+        )
+
+    def _fill_slots(self) -> None:
+        while self._queue and len(self._inflight) < self.processes:
+            index, attempt = self._queue.pop(0)
+            self._dispatch(index, attempt)
+
+    # -------------------------------------------------------------- timeout
+    def _deadline_passed(self, flight: _InFlight, now: float) -> bool:
+        timeout = self.config.run_timeout_s
+        if timeout is None:
+            return False
+        beat = self.heartbeat.read(flight.payload_index)
+        if beat is None:
+            # Not picked up yet: allow queueing grace on top of the budget.
+            return now - flight.dispatched_at > (
+                timeout + self.config.heartbeat_grace_s)
+        _pid, started_at = beat
+        return time.time() - started_at > timeout
+
+    def _handle_expiry(self, flight: _InFlight) -> Optional[Outcome]:
+        """Timeout or worker death for one in-flight run.
+
+        Returns an error outcome to emit, or ``None`` if the run was
+        re-queued (dead worker, budget left).
+        """
+        beat = self.heartbeat.read(flight.payload_index)
+        pid = beat[0] if beat is not None else None
+        if pid is not None and pid_alive(pid):
+            # Wedged or genuinely too slow: reclaim the slot.
+            kill_worker(pid)
+            self.stats["worker_restarts"] += 1
+            self.stats["timed_out"] += 1
+            self.heartbeat.finish(flight.payload_index)
+            return (ERROR,
+                    error_record(flight.manifest, classification=TIMEOUT,
+                                 attempts=flight.dispatch_attempts,
+                                 wall_s=self.config.run_timeout_s or 0.0,
+                                 message=(
+                                     f"run exceeded its wall-clock budget of "
+                                     f"{self.config.run_timeout_s}s")),
+                    flight.dispatch_attempts)
+        # Worker died under the run (or never picked it up): the run itself
+        # is innocent — re-dispatch unless its budget is spent.
+        self.stats["worker_restarts"] += 1
+        self.heartbeat.finish(flight.payload_index)
+        if flight.dispatch_attempts < self.config.max_dispatch_attempts:
+            self.stats["redispatched"] += 1
+            self._queue.append(
+                (flight.payload_index, flight.dispatch_attempts + 1))
+            return None
+        return (ERROR,
+                error_record(flight.manifest, classification=WORKER_LOST,
+                             attempts=flight.dispatch_attempts,
+                             wall_s=time.monotonic() - flight.dispatched_at,
+                             message=(
+                                 "worker process died "
+                                 f"{flight.dispatch_attempts} time(s) while "
+                                 "executing this run")),
+                flight.dispatch_attempts)
+
+    def _check_worker_death(self, flight: _InFlight) -> bool:
+        """True when the worker that picked this run up is gone."""
+        beat = self.heartbeat.read(flight.payload_index)
+        if beat is None:
+            return False
+        pid, _started = beat
+        return not pid_alive(pid)
+
+    # ------------------------------------------------------------------ run
+    def outcomes(self):
+        """Yield one outcome per pending run, in completion order."""
+        try:
+            while self._queue or self._inflight:
+                if self._degraded:
+                    yield from self._drain_serial()
+                    return
+                self._fill_slots()
+                yield from self._poll_once()
+                if (self.stats["worker_restarts"]
+                        > self.config.max_worker_restarts):
+                    self._degrade()
+        finally:
+            self.heartbeat.cleanup()
+
+    def _poll_once(self):
+        time.sleep(self.config.poll_interval_s)
+        now = time.monotonic()
+        for index in list(self._inflight):
+            flight = self._inflight[index]
+            if flight.result.ready():
+                del self._inflight[index]
+                yield flight.result.get()
+                continue
+            if self._deadline_passed(flight, now) \
+                    or self._check_worker_death(flight):
+                del self._inflight[index]
+                outcome = self._handle_expiry(flight)
+                if outcome is not None:
+                    yield outcome
+
+    def _degrade(self) -> None:
+        """Give up on the pool; survivors run serially in the parent."""
+        self._degraded = True
+        for flight in self._inflight.values():
+            self._queue.append(
+                (flight.payload_index, flight.dispatch_attempts))
+        self._inflight.clear()
+        self.pool.terminate()
+
+    def _drain_serial(self):
+        for index, _attempt in self._queue:
+            yield execute_with_capture(self.manifests[index],
+                                       self.config.retry,
+                                       on_retry=self.on_retry)
+        self._queue.clear()

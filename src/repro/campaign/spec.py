@@ -38,6 +38,10 @@ class RunManifest:
         return asdict(self)
 
 
+#: Fault-entry fields that may be swept (list-valued) in a ``faults`` block.
+SWEEPABLE_FAULT_FIELDS = ("start", "duration", "target")
+
+
 @dataclass
 class CampaignSpec:
     """Declarative description of a simulation campaign.
@@ -54,6 +58,18 @@ class CampaignSpec:
         with its own derived seed.
     base_seed:
         Master seed; everything stochastic in the campaign derives from it.
+    faults:
+        Declarative fault-injection block: a list of fault entries, each a
+        dict with ``kind`` (fixed), optional ``parameters`` (fixed), and
+        ``start`` / ``duration`` / ``target`` either scalar or list-valued
+        — list values are swept exactly like swept parameters, joining the
+        configuration cross product as axes named ``fault<i>.<field>``.
+        Every grid point compiles its resolved entries into a
+        ``fault_plan`` parameter (plain JSON dicts) that a fault-capable
+        scenario runner arms on its :class:`~repro.sim.faults.FaultInjector`,
+        so ``repro-campaign run`` can sweep outage duration x start time x
+        target channel — the paper's Section II(c) communication-failure
+        experiment at population scale.
     """
 
     name: str
@@ -63,6 +79,7 @@ class CampaignSpec:
     repeats: int = 1
     base_seed: int = 0
     description: str = ""
+    faults: List[Dict[str, Any]] = field(default_factory=list)
 
     def validate(self) -> None:
         if not self.name:
@@ -92,13 +109,68 @@ class CampaignSpec:
             raise CampaignError(
                 f"scenario {self.scenario!r} does not support patient cohorts"
             )
+        self._validate_faults(scenario)
         if scenario.spec_validator is not None:
             scenario.spec_validator(self)
 
+    def _validate_faults(self, scenario) -> None:
+        if not self.faults:
+            return
+        if not scenario.supports_faults:
+            raise CampaignError(
+                f"scenario {self.scenario!r} does not support fault injection "
+                "(no fault_plan parameter); remove the campaign 'faults' block"
+            )
+        from repro.sim.faults import FAULT_KINDS
+
+        for index, entry in enumerate(self.faults):
+            if not isinstance(entry, dict):
+                raise CampaignError(
+                    f"faults[{index}] must be an object, got {type(entry).__name__}"
+                )
+            unknown = sorted(set(entry) - {"kind", "start", "duration",
+                                           "target", "parameters"})
+            if unknown:
+                raise CampaignError(
+                    f"faults[{index}] has unknown fields {unknown}"
+                )
+            kind = entry.get("kind")
+            if kind not in FAULT_KINDS:
+                raise CampaignError(
+                    f"faults[{index}] kind {kind!r} is not one of {FAULT_KINDS}"
+                )
+            if "start" not in entry:
+                raise CampaignError(f"faults[{index}] requires a 'start' time")
+            for field_name in SWEEPABLE_FAULT_FIELDS:
+                value = entry.get(field_name)
+                if isinstance(value, list) and not value:
+                    raise CampaignError(
+                        f"faults[{index}].{field_name} sweeps no values; the "
+                        "campaign would expand to zero runs"
+                    )
+
     # ------------------------------------------------------------- expansion
     def sweep_axes(self) -> List[str]:
-        """Names of the swept (list-valued) parameters, in declaration order."""
-        return [key for key, value in self.parameters.items() if isinstance(value, list)]
+        """Names of the swept (list-valued) parameters, in declaration order.
+
+        Swept fault fields follow the parameter axes as ``fault<i>.<field>``
+        (their resolved values are injected into every run's params, so
+        reports can group by them like any other axis).
+        """
+        axes = [key for key, value in self.parameters.items()
+                if isinstance(value, list)]
+        axes.extend(axis for axis, _values in self._fault_axes())
+        return axes
+
+    def _fault_axes(self) -> List[tuple]:
+        """``(axis_name, values)`` for every swept fault field, in order."""
+        axes = []
+        for index, entry in enumerate(self.faults):
+            for field_name in SWEEPABLE_FAULT_FIELDS:
+                value = entry.get(field_name)
+                if isinstance(value, list):
+                    axes.append((f"fault{index}.{field_name}", value))
+        return axes
 
     def grid_size(self) -> int:
         """Total run count, without materialising the manifests.
@@ -108,8 +180,30 @@ class CampaignSpec:
         """
         size = self.repeats * max(1, self.cohort_size)
         for axis in self.sweep_axes():
-            size *= len(self.parameters[axis])
+            if axis in self.parameters:
+                size *= len(self.parameters[axis])
+        for _axis, values in self._fault_axes():
+            size *= len(values)
         return size
+
+    def _compiled_fault_plan(self, bound: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Resolve the faults block against one grid point's bound axes."""
+        from repro.sim.faults import FaultSpec
+
+        plan: List[Dict[str, Any]] = []
+        for index, entry in enumerate(self.faults):
+            resolved = dict(entry)
+            for field_name in SWEEPABLE_FAULT_FIELDS:
+                axis = f"fault{index}.{field_name}"
+                if axis in bound:
+                    resolved[field_name] = bound[axis]
+            try:
+                plan.append(FaultSpec.from_dict(resolved).as_dict())
+            except ValueError as error:
+                raise CampaignError(
+                    f"faults[{index}] does not compile: {error}"
+                ) from error
+        return plan
 
     def expand(self) -> List[RunManifest]:
         """Expand into the full, deterministically ordered run list."""
@@ -121,7 +215,12 @@ class CampaignSpec:
             for key, value in self.parameters.items()
             if not isinstance(value, list)
         }
-        grids = [self.parameters[axis] for axis in axes]
+        fault_axes = dict(self._fault_axes())
+        grids = [
+            self.parameters[axis] if axis in self.parameters
+            else fault_axes[axis]
+            for axis in axes
+        ]
         patient_indices: List[Optional[int]] = (
             list(range(self.cohort_size)) if self.cohort_size > 0 else [None]
         )
@@ -129,11 +228,17 @@ class CampaignSpec:
 
         manifests: List[RunManifest] = []
         for point in itertools.product(*grids) if grids else [()]:
+            bound = dict(zip(axes, point))
+            fault_plan = (
+                self._compiled_fault_plan(bound) if self.faults else None
+            )
             for patient_index in patient_indices:
                 for repeat in range(self.repeats):
                     params = dict(fixed)
-                    params.update(dict(zip(axes, point)))
-                    id_parts = [f"{axis}={params[axis]}" for axis in axes]
+                    params.update(bound)
+                    if fault_plan is not None:
+                        params["fault_plan"] = fault_plan
+                    id_parts = [f"{axis}={bound[axis]}" for axis in axes]
                     if patient_index is not None:
                         params["patient_index"] = patient_index
                         params["cohort_seed"] = cohort_seed
@@ -167,7 +272,7 @@ class CampaignSpec:
 
     # ----------------------------------------------------------- persistence
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "scenario": self.scenario,
             "parameters": self.parameters,
@@ -176,6 +281,11 @@ class CampaignSpec:
             "base_seed": self.base_seed,
             "description": self.description,
         }
+        if self.faults:
+            # Only emitted when present, so manifests of fault-less campaigns
+            # are byte-identical to those written before faults existed.
+            data["faults"] = self.faults
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":

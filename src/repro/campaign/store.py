@@ -1,17 +1,31 @@
-"""Streaming JSONL result store with checkpoint/resume.
+"""Streaming JSONL result store with checkpoint/resume and quarantine.
 
 Layout of a campaign directory::
 
     <dir>/manifest.json   # the spec plus the fully expanded run list
     <dir>/results.jsonl   # one JSON object per completed run
+    <dir>/errors.jsonl    # one JSON object per quarantined (failed) run
 
 Results are appended through one persistent handle as runs complete and
 flushed every ``flush_every`` records (default 1), so an interrupted
 campaign loses at most the in-flight runs plus any unflushed tail;
-:meth:`ResultStore.completed` tolerates a torn final line when re-reading.  :meth:`ResultStore.finalize`
-rewrites ``results.jsonl`` in run-index order through an atomic replace,
-which makes the finished file byte-identical regardless of whether the
-campaign ran serially, in parallel, or across several resumed sessions.
+:meth:`ResultStore.completed` tolerates a torn final line when re-reading.
+:meth:`ResultStore.finalize` rewrites ``results.jsonl`` in run-index order
+through an atomic replace, which makes the finished file byte-identical
+regardless of whether the campaign ran serially, in parallel, or across
+several resumed sessions.
+
+``errors.jsonl`` follows the same discipline (persistent append handle,
+torn-tail repair, atomic finalize) but is *session-scoped*: resuming a
+campaign resets it, because every quarantined run is re-dispatched and
+either succeeds (no error record) or fails afresh (a new error record).
+
+Corruption tolerance: a torn line written by this store can only ever be
+the file's tail (writes are sequential through one handle), but a file can
+also be damaged *in the middle* by the storage layer.  Reads therefore
+skip any undecodable line and keep the intact records after it, and
+:meth:`repair` reports how many lines were dropped instead of silently
+truncating everything past the first bad byte.
 """
 
 from __future__ import annotations
@@ -20,13 +34,14 @@ import json
 import math
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.registry import CampaignError
 from repro.campaign.spec import CampaignSpec, RunManifest
 
 MANIFEST_FILE = "manifest.json"
 RESULTS_FILE = "results.jsonl"
+ERRORS_FILE = "errors.jsonl"
 
 
 def _sanitize(value: Any) -> Any:
@@ -50,15 +65,70 @@ def _dumps(record: Dict[str, Any]) -> str:
                       allow_nan=False)
 
 
-class ResultStore:
-    """Disk-backed store for one campaign's manifest and per-run results.
+def scan_jsonl(path: Path) -> Tuple[List[Dict[str, Any]], int]:
+    """(intact records, skipped line count) of a possibly damaged JSONL file.
 
-    Appends go through one persistent file handle instead of an open/write/
-    close cycle per record.  ``flush_every`` batches the flush+fsync behind
-    every N appends: the default of 1 keeps the seed's per-record durability,
-    larger values trade at most N-1 tail records on a crash for much cheaper
-    appends.  Writes stay sequential through a single handle, so a torn line
-    can only ever be the file's tail — the repair guarantee is unchanged.
+    Any line that fails to parse — a torn tail from an interrupted write or
+    a corrupted interior line — is skipped; every intact line after it is
+    still returned, so one bad sector never discards the rest of a
+    campaign.
+    """
+    if not path.exists():
+        return [], 0
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped += 1
+    return records, skipped
+
+
+class _AppendFile:
+    """One append-only JSONL file behind a persistent, batched-flush handle."""
+
+    def __init__(self, path: Path, flush_every: int) -> None:
+        self.path = path
+        self.flush_every = flush_every
+        self._handle = None
+        self._unflushed = 0
+
+    def append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(_dumps(record) + "\n")
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._handle is not None and self._unflushed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._unflushed = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+
+class ResultStore:
+    """Disk-backed store for one campaign's manifest, results, and errors.
+
+    Appends go through one persistent file handle per file instead of an
+    open/write/close cycle per record.  ``flush_every`` batches the
+    flush+fsync behind every N appends: the default of 1 keeps the seed's
+    per-record durability, larger values trade at most N-1 tail records on
+    a crash for much cheaper appends.  Error appends always flush
+    immediately — quarantine records are rare and must survive the crash
+    that often follows them.
     """
 
     def __init__(self, directory: Union[str, Path], *, flush_every: int = 1) -> None:
@@ -68,9 +138,12 @@ class ResultStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.manifest_path = self.directory / MANIFEST_FILE
         self.results_path = self.directory / RESULTS_FILE
+        self.errors_path = self.directory / ERRORS_FILE
         self.flush_every = flush_every
-        self._handle = None
-        self._unflushed = 0
+        self._results = _AppendFile(self.results_path, flush_every)
+        self._errors = _AppendFile(self.errors_path, flush_every=1)
+        #: Lines dropped by the most recent :meth:`repair` (per file).
+        self.last_repair_skipped: Dict[str, int] = {}
 
     # -------------------------------------------------------------- manifest
     def write_manifest(self, spec: CampaignSpec, manifests: Sequence[RunManifest]) -> None:
@@ -119,70 +192,90 @@ class ResultStore:
     # --------------------------------------------------------------- results
     def append(self, record: Dict[str, Any]) -> None:
         """Append one completed-run record; durability follows ``flush_every``."""
-        if self._handle is None:
-            self._handle = open(self.results_path, "a", encoding="utf-8")
-        self._handle.write(_dumps(record) + "\n")
-        self._unflushed += 1
-        if self._unflushed >= self.flush_every:
-            self.flush()
+        self._results.append(record)
+
+    def append_error(self, record: Dict[str, Any]) -> None:
+        """Quarantine one failed-run record (always flushed immediately)."""
+        self._errors.append(record)
 
     def flush(self) -> None:
-        """Flush and fsync any buffered appends."""
-        if self._handle is not None and self._unflushed:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._unflushed = 0
+        """Flush and fsync any buffered appends (results and errors)."""
+        self._results.flush()
+        self._errors.flush()
 
     def close(self) -> None:
-        """Flush and release the append handle (safe to call repeatedly)."""
-        if self._handle is not None:
-            self.flush()
-            self._handle.close()
-            self._handle = None
+        """Flush and release the append handles (safe to call repeatedly)."""
+        self._results.close()
+        self._errors.close()
 
     def records(self) -> List[Dict[str, Any]]:
-        """All intact records currently on disk (torn tail lines skipped)."""
-        self.flush()  # make buffered appends visible to the read below
-        if not self.results_path.exists():
-            return []
-        records: List[Dict[str, Any]] = []
-        with open(self.results_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError:
-                    # A torn line can only be the interrupted tail write.
-                    break
-        return records
+        """All intact result records on disk (torn/corrupt lines skipped)."""
+        self._results.flush()  # make buffered appends visible to the read
+        return scan_jsonl(self.results_path)[0]
+
+    def error_records(self) -> List[Dict[str, Any]]:
+        """All intact quarantine records on disk."""
+        self._errors.flush()
+        return scan_jsonl(self.errors_path)[0]
 
     def completed(self) -> Dict[int, Dict[str, Any]]:
         """Completed records keyed by run index (last write wins)."""
         return {record["run_index"]: record for record in self.records()}
 
     def repair(self) -> int:
-        """Truncate ``results.jsonl`` to its intact prefix; returns kept count.
+        """Drop undecodable lines from both JSONL files; returns kept results.
 
         Must run before appending to a file that may end in a torn line from
         an interrupted write — otherwise the next append would concatenate
-        onto the fragment and corrupt that record too.
+        onto the fragment and corrupt that record too.  Interior corruption
+        (a damaged line *between* intact ones) is skipped, not truncated at:
+        every intact record before and after it survives.  Per-file skip
+        counts are reported in :attr:`last_repair_skipped`.
         """
-        self.close()  # the atomic replace below would orphan an open handle
-        records = self.records()
-        if self.results_path.exists():
-            body = "".join(_dumps(record) + "\n" for record in records)
-            self._atomic_write(self.results_path, body)
-        return len(records)
+        self.close()  # the atomic replace below would orphan open handles
+        self.last_repair_skipped = {}
+        kept = 0
+        for path in (self.results_path, self.errors_path):
+            records, skipped = scan_jsonl(path)
+            if path.exists():
+                body = "".join(_dumps(record) + "\n" for record in records)
+                self._atomic_write(path, body)
+            if skipped:
+                self.last_repair_skipped[path.name] = skipped
+            if path == self.results_path:
+                kept = len(records)
+        return kept
+
+    def reset_errors(self) -> None:
+        """Truncate ``errors.jsonl`` (quarantined runs are being re-dispatched)."""
+        self._errors.close()
+        if self.errors_path.exists():
+            self._atomic_write(self.errors_path, "")
 
     def finalize(self) -> List[Dict[str, Any]]:
         """Rewrite ``results.jsonl`` sorted by run index; return the records."""
-        self.close()  # the atomic replace below would orphan an open handle
+        self._results.close()  # the atomic replace would orphan an open handle
         completed = self.completed()
         ordered = [completed[index] for index in sorted(completed)]
         body = "".join(_dumps(record) + "\n" for record in ordered)
         self._atomic_write(self.results_path, body)
+        return ordered
+
+    def finalize_errors(self) -> List[Dict[str, Any]]:
+        """Rewrite ``errors.jsonl`` sorted by run index; return the records.
+
+        An empty quarantine leaves no file behind, so a clean campaign
+        directory looks exactly as it did before quarantine existed.
+        """
+        self._errors.close()
+        by_index = {record["run_index"]: record
+                    for record in self.error_records()}
+        ordered = [by_index[index] for index in sorted(by_index)]
+        if ordered:
+            body = "".join(_dumps(record) + "\n" for record in ordered)
+            self._atomic_write(self.errors_path, body)
+        elif self.errors_path.exists():
+            self.errors_path.unlink()
         return ordered
 
     # --------------------------------------------------------------- helpers
@@ -198,4 +291,11 @@ class ResultStore:
 def load_results(directory: Union[str, Path]) -> List[Dict[str, Any]]:
     """Convenience: the intact records of a campaign directory, in run order."""
     records = ResultStore(directory).completed()
+    return [records[index] for index in sorted(records)]
+
+
+def load_errors(directory: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Convenience: the quarantine records of a campaign directory, in run order."""
+    records = {record["run_index"]: record
+               for record in ResultStore(directory).error_records()}
     return [records[index] for index in sorted(records)]

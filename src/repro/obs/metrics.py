@@ -320,13 +320,25 @@ class SamplerInstruments:
 
 
 class CampaignInstruments:
-    """Cached campaign-engine metrics (per-run accounting)."""
+    """Cached campaign-engine metrics (per-run and resilience accounting).
 
-    __slots__ = ("runs", "run_wall_s")
+    The resilience counters are incremented where the event is observed:
+    ``runs_retried`` and ``faults_injected`` in whichever process executes
+    the run (so they ride worker shards), ``runs_quarantined`` and
+    ``worker_restarts`` in the parent watchdog.  All are plain counters, so
+    the shard merge sums them like any other.
+    """
+
+    __slots__ = ("runs", "run_wall_s", "runs_retried", "runs_quarantined",
+                 "worker_restarts", "faults_injected")
 
     def __init__(self, reg: MetricsRegistry) -> None:
         self.runs = reg.counter("campaign.runs")
         self.run_wall_s = reg.histogram("campaign.run_wall_s", RUN_WALL_BOUNDS_S)
+        self.runs_retried = reg.counter("campaign.runs_retried")
+        self.runs_quarantined = reg.counter("campaign.runs_quarantined")
+        self.worker_restarts = reg.counter("campaign.worker_restarts")
+        self.faults_injected = reg.counter("campaign.faults_injected")
 
 
 def kernel_instruments() -> Optional[KernelInstruments]:

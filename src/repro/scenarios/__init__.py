@@ -41,6 +41,7 @@ from repro.scenarios.home import (
     HomeMonitoringResult,
     run_home_campaign,
 )
+from repro.scenarios.chaos import run_chaos_campaign
 
 __all__ = [
     "build_pca_scenario_spec",
@@ -58,4 +59,5 @@ __all__ = [
     "run_bed_map_campaign",
     "run_proton_campaign",
     "run_home_campaign",
+    "run_chaos_campaign",
 ]

@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.campaign.registry import CampaignError, campaign_scenario
 from repro.campaign.spec import patient_from_params
-from repro.sim.faults import FaultSpec
+from repro.sim.faults import FaultSpec, fault_plan_specs
 from repro.workflow.spec import (
     CaregiverRole,
     ClinicalScenario,
@@ -285,6 +285,7 @@ def _validate_pca_campaign(spec) -> None:
         "mean_pain_level", "supervisor_stops",
     ),
     supports_cohort=True,
+    supports_faults=True,
     description="Closed-loop PCA safety run over a patient cohort (experiment E1 at scale)",
     spec_validator=_validate_pca_campaign,
 )
@@ -300,20 +301,24 @@ def run_pca_campaign(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         athlete_fraction=params["athlete_fraction"],
     )
 
-    fault_plan = params["faults"]
-    if fault_plan == "none":
+    preset = params["faults"]
+    if preset == "none":
         faults: List[FaultSpec] = []
-    elif fault_plan == "standard":
+    elif preset == "standard":
         faults = pca_fault_campaign(
             misprogramming_rate_multiplier=params["misprogramming_rate_multiplier"]
         )
-    elif fault_plan == "standard+outage":
+    elif preset == "standard+outage":
         faults = pca_fault_campaign(
             misprogramming_rate_multiplier=params["misprogramming_rate_multiplier"],
             include_communication_outage=True,
         )
     else:
-        raise ValueError(f"unknown fault plan {fault_plan!r}")
+        raise ValueError(f"unknown fault plan {preset!r}")
+    # Declarative campaign faults (a spec's ``faults`` block compiles to the
+    # engine-injected ``fault_plan`` param) compose with the preset above:
+    # the paper's outage sweeps ride on top of any standard fault workload.
+    faults = faults + fault_plan_specs(params.get("fault_plan", ()))
 
     config = PCASystemConfig(
         mode=params["mode"],

@@ -10,8 +10,9 @@ stochastic faults against channels and devices so the experiments in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.obs import metrics as obs_metrics
 from repro.sim.channel import Channel
 from repro.sim.kernel import Simulator
 
@@ -63,13 +64,52 @@ class FaultSpec:
     def end(self) -> float:
         return self.start + self.duration
 
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "duration": self.duration,
+            "target": self.target,
+            "parameters": dict(self.parameters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        unknown = sorted(set(data) - {"kind", "start", "duration", "target",
+                                      "parameters"})
+        if unknown:
+            raise ValueError(f"unknown fault spec fields: {unknown}")
+        if "kind" not in data or "start" not in data:
+            raise ValueError("fault spec requires 'kind' and 'start'")
+        return cls(
+            kind=data["kind"],
+            start=float(data["start"]),
+            duration=float(data.get("duration", 0.0)),
+            target=str(data.get("target", "")),
+            parameters=dict(data.get("parameters", {})),
+        )
+
+
+def fault_plan_specs(plan: Sequence[Mapping[str, Any]]) -> List[FaultSpec]:
+    """Compile a declarative campaign ``fault_plan`` into fault specs.
+
+    This is the bridge a scenario runner uses to honour the ``faults``
+    block of a :class:`~repro.campaign.spec.CampaignSpec`: each entry of the
+    resolved plan (a plain JSON dict, so it survives manifests and worker
+    boundaries) becomes one :class:`FaultSpec` to arm on the injector.
+    """
+    return [FaultSpec.from_dict(entry) for entry in plan]
+
 
 class FaultInjector:
     """Applies :class:`FaultSpec` records to a running simulation.
 
     Channels are registered by name with :meth:`register_channel`; devices
     (or any object exposing the hooks named in the fault kinds) with
-    :meth:`register_device`.  Calling :meth:`arm` schedules all faults.
+    :meth:`register_device`.  Calling :meth:`arm` schedules all faults
+    exactly once; faults :meth:`add`-ed afterwards are scheduled
+    immediately, so nothing added to a live injector can silently never
+    fire.
     """
 
     def __init__(self, simulator: Simulator) -> None:
@@ -79,6 +119,8 @@ class FaultInjector:
         self._specs: List[FaultSpec] = []
         self._custom_handlers: Dict[str, Callable[[FaultSpec], None]] = {}
         self.injected: List[FaultSpec] = []
+        self._armed = False
+        self._instruments = obs_metrics.campaign_instruments()
 
     # ---------------------------------------------------------- registration
     def register_channel(self, channel: Channel) -> None:
@@ -92,7 +134,16 @@ class FaultInjector:
         self._custom_handlers[name] = handler
 
     def add(self, spec: FaultSpec) -> None:
+        """Register one fault; scheduled now if the injector is already armed.
+
+        Before :meth:`arm` this only records the spec.  After :meth:`arm`
+        the spec is scheduled immediately — previously it was silently
+        dropped, the worst possible failure mode for a fault campaign that
+        believes it injected something.
+        """
         self._specs.append(spec)
+        if self._armed:
+            self._schedule(spec)
 
     def extend(self, specs: List[FaultSpec]) -> None:
         for spec in specs:
@@ -102,19 +153,39 @@ class FaultInjector:
     def specs(self) -> List[FaultSpec]:
         return list(self._specs)
 
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
     # --------------------------------------------------------------- arming
     def arm(self) -> None:
-        """Schedule every added fault on the simulator."""
-        for spec in self._specs:
-            self.simulator.schedule_at(
-                spec.start,
-                lambda s=spec: self._apply(s),
-                name=f"fault:{spec.kind}:{spec.target}",
+        """Schedule every added fault on the simulator (once only).
+
+        Calling :meth:`arm` twice used to double-schedule every fault —
+        outages applied twice, twice the proxy boluses — so a second call
+        is a hard error rather than a silent corruption of the experiment.
+        """
+        if self._armed:
+            raise RuntimeError(
+                "FaultInjector.arm() called twice; faults are scheduled once "
+                "(add() after arm() schedules the new fault immediately)"
             )
+        self._armed = True
+        for spec in self._specs:
+            self._schedule(spec)
+
+    def _schedule(self, spec: FaultSpec) -> None:
+        self.simulator.schedule_at(
+            spec.start,
+            lambda s=spec: self._apply(s),
+            name=f"fault:{spec.kind}:{spec.target}",
+        )
 
     # ------------------------------------------------------------- appliers
     def _apply(self, spec: FaultSpec) -> None:
         self.injected.append(spec)
+        if self._instruments is not None:
+            self._instruments.faults_injected.value += 1
         if spec.kind == "channel_outage":
             self._apply_channel_outage(spec)
         elif spec.kind == "device_crash":

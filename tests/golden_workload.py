@@ -55,6 +55,18 @@ SCENARIO_SPECS: Dict[str, Dict[str, Any]] = {
                     "duration_s": 7200.0, "sample_period_s": 120.0},
         base_seed=5,
     ),
+    # The paper's Section II(c) communication-failure experiment in
+    # miniature: a declarative outage sweep on the oximeter uplink.  Pins
+    # the fault-injection pipeline end to end (faults block -> fault_plan
+    # param -> FaultInjector schedule -> scenario outcome bytes).
+    "pca_faulted": dict(
+        name="golden-pca-faulted",
+        scenario="pca",
+        parameters={"mode": "closed_loop", "duration_s": 600.0},
+        faults=[{"kind": "channel_outage", "start": 120.0,
+                 "duration": [60.0, 180.0], "target": "uplink:pulse-ox-1"}],
+        base_seed=123,
+    ),
 }
 
 

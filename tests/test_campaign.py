@@ -372,12 +372,12 @@ class TestStore:
     def test_append_holds_one_persistent_handle(self, tmp_path):
         store = ResultStore(tmp_path)
         store.append({"run_index": 0})
-        handle = store._handle
+        handle = store._results._handle
         assert handle is not None
         store.append({"run_index": 1})
-        assert store._handle is handle  # no reopen per record
+        assert store._results._handle is handle  # no reopen per record
         store.close()
-        assert store._handle is None
+        assert store._results._handle is None
         assert len(store.records()) == 2
 
     def test_flush_every_batches_fsyncs_but_records_flushes_on_read(self, tmp_path):

@@ -283,3 +283,70 @@ class TestCliMetricsOut:
         assert sharded["campaign.workers"]["value"] == 2.0
         # Shard directory is cleaned up after the merge.
         assert not (tmp_path / "sharded" / "metrics.ndjson.shards").exists()
+
+
+class TestResilienceMetrics:
+    """Retry/quarantine/fault counters ride the campaign metrics merge."""
+
+    def _restore_obs(self):
+        obsm.disable()
+        obsm.registry().reset()
+        tracer().reset()
+
+    def _chaos_spec_file(self, tmp_path):
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps({
+            "name": "chaos-metrics", "scenario": "chaos",
+            "parameters": {"raise_at": "1", "flaky_at": "2"},
+            "repeats": 5, "base_seed": 3,
+        }), encoding="utf-8")
+        return path
+
+    def _run(self, tmp_path, label, *extra):
+        metrics_path = tmp_path / f"{label}.ndjson"
+        try:
+            assert campaign_main(["run", str(self._chaos_spec_file(tmp_path)),
+                                  "--quiet", "--isolate-failures",
+                                  "--metrics-out", str(metrics_path),
+                                  *extra]) == 0
+            return TestCliMetricsOut.by_name(read_snapshot(metrics_path))
+        finally:
+            self._restore_obs()
+
+    def test_serial_counters_in_snapshot(self, tmp_path):
+        names = self._run(tmp_path, "serial")
+        assert names["campaign.runs_retried"]["value"] == 1
+        assert names["campaign.runs_quarantined"]["value"] == 1
+        assert names["campaign.worker_restarts"]["value"] == 0
+        # Quarantined runs never produce a result record.
+        assert names["campaign.runs"]["value"] == 4
+
+    def test_sharded_merge_matches_serial_and_is_deterministic(self, tmp_path):
+        serial = self._run(tmp_path / "serial", "serial")
+        first = self._run(tmp_path / "w1", "sharded", "--workers", "2")
+        second = self._run(tmp_path / "w2", "sharded", "--workers", "2")
+        for name in ("campaign.runs", "campaign.runs_retried",
+                     "campaign.runs_quarantined", "campaign.worker_restarts"):
+            assert first[name]["value"] == serial[name]["value"], name
+            assert first[name]["value"] == second[name]["value"], name
+
+    def test_fault_injection_counter_reaches_snapshot(self, tmp_path):
+        spec_path = tmp_path / "outage.json"
+        spec_path.write_text(json.dumps({
+            "name": "outage", "scenario": "pca",
+            "parameters": {"duration_s": 60.0},
+            "faults": [{"kind": "channel_outage", "start": 20.0,
+                        "duration": [5.0, 10.0],
+                        "target": "uplink:pulse-ox-1"}],
+            "base_seed": 3,
+        }), encoding="utf-8")
+        metrics_path = tmp_path / "metrics.ndjson"
+        try:
+            assert campaign_main(["run", str(spec_path), "--quiet",
+                                  "--metrics-out", str(metrics_path)]) == 0
+            names = TestCliMetricsOut.by_name(read_snapshot(metrics_path))
+            # One channel_outage armed and applied per grid point.
+            assert names["campaign.faults_injected"]["value"] == 2
+        finally:
+            self._restore_obs()

@@ -331,6 +331,95 @@ class TestFaultInjector:
         sim.run()
         assert called == ["custom"]
 
+    def test_arm_twice_is_an_error_not_a_double_schedule(self):
+        # arm() twice used to schedule every fault twice (double outages,
+        # double proxy boluses) — silent experiment corruption.
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        device = _FakeDevice()
+        injector.register_device("pump", device)
+        injector.add(FaultSpec(kind="pca_by_proxy", start=1.0, target="pump",
+                               parameters={"count": 3}))
+        injector.arm()
+        with pytest.raises(RuntimeError, match="arm.*twice"):
+            injector.arm()
+        sim.run()
+        assert device.proxy_count == 3  # injected exactly once
+        assert injector.armed
+
+    def test_add_after_arm_schedules_immediately(self):
+        # add() after arm() used to silently never fire — the worst failure
+        # mode for a fault campaign that believes it injected something.
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        device = _FakeDevice()
+        injector.register_device("pump", device)
+        injector.arm()
+        injector.add(FaultSpec(kind="device_crash", start=2.0, target="pump"))
+        sim.run()
+        assert device.crashed
+        assert len(injector.injected) == 1
+
+    def test_add_before_arm_schedules_once(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        device = _FakeDevice()
+        injector.register_device("pump", device)
+        injector.add(FaultSpec(kind="device_crash", start=1.0, target="pump"))
+        assert not injector.armed
+        injector.arm()
+        sim.run()
+        assert len(injector.injected) == 1
+
+
+class TestFaultSpecRoundtrip:
+    def test_as_dict_from_dict_roundtrip(self):
+        spec = FaultSpec(kind="channel_outage", start=10.0, duration=5.0,
+                         target="link", parameters={"x": 1})
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault spec fields"):
+            FaultSpec.from_dict({"kind": "device_crash", "start": 0.0,
+                                 "severity": "high"})
+
+    def test_from_dict_requires_kind_and_start(self):
+        with pytest.raises(ValueError, match="requires 'kind' and 'start'"):
+            FaultSpec.from_dict({"kind": "device_crash"})
+
+    def test_fault_plan_specs_compiles_plan(self):
+        from repro.sim.faults import fault_plan_specs
+
+        plan = [{"kind": "channel_outage", "start": 30.0, "duration": 10.0,
+                 "target": "uplink:pulse-ox-1"}]
+        specs = fault_plan_specs(plan)
+        assert len(specs) == 1
+        assert specs[0].end == 40.0
+
+
+class TestFaultInjectorMetrics:
+    def test_faults_injected_counter_increments_when_enabled(self):
+        from repro.obs import metrics as obsm
+
+        was_enabled = obsm.enabled()
+        obsm.enable()
+        obsm.registry().reset()
+        try:
+            sim = Simulator()
+            injector = FaultInjector(sim)
+            device = _FakeDevice()
+            injector.register_device("pump", device)
+            injector.add(FaultSpec(kind="device_crash", start=1.0, target="pump"))
+            injector.arm()
+            sim.run()
+            assert obsm.registry().get("campaign.faults_injected").value == 1
+        finally:
+            obsm.registry().reset()
+            if not was_enabled:
+                obsm.disable()
+
+
+class TestCommunicationFailureCampaign:
     def test_communication_failure_campaign_builder(self):
         specs = communication_failure_campaign("link", first_start=10.0, outage_duration=5.0,
                                                 period=100.0, count=3)
