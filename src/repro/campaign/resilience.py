@@ -200,7 +200,7 @@ def _traceback_digest(error: BaseException) -> Tuple[str, str]:
     """(sha256 digest, last frame summary) of the error's traceback."""
     text = "".join(traceback.format_exception(
         type(error), error, error.__traceback__))
-    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(text.encode()).hexdigest()
     frames = traceback.extract_tb(error.__traceback__)
     where = ""
     if frames:

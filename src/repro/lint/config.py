@@ -1,0 +1,113 @@
+"""Analyzer configuration, optionally loaded from ``[tool.repro-lint]``.
+
+The defaults encode this repository's three standing contracts, so a bare
+``python -m repro.lint src`` is the CI invocation.  Projects adjust scope in
+``pyproject.toml``::
+
+    [tool.repro-lint]
+    paths = ["src"]
+    exclude = ["**/_vendored/**"]
+    det-scope = ["repro.sim", "repro.middleware", "repro.campaign"]
+    wallclock-allowlist = ["repro.obs", "repro.campaign.resilience"]
+
+``tomllib`` only exists on Python 3.11+; on 3.10 the built-in defaults are
+used unless a config mapping is passed programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scope and allowlists for every rule family."""
+
+    # File collection.
+    paths: Tuple[str, ...] = ("src",)
+    exclude: Tuple[str, ...] = ()
+    # Rule selection: empty means "all registered rules".
+    select: Tuple[str, ...] = ()
+    # DET01/DET04: packages whose ordering is part of the golden contract.
+    det_scope: Tuple[str, ...] = ("repro.sim", "repro.middleware", "repro.campaign")
+    # DET03: modules allowed to read the wall clock (observability and the
+    # watchdog/heartbeat machinery genuinely measure real time).
+    wallclock_allowlist: Tuple[str, ...] = ("repro.obs", "repro.campaign.resilience")
+    # LAYER01: the simulation core must never depend on its drivers.
+    layer_sim: Tuple[str, ...] = ("repro.sim",)
+    layer_sim_forbidden: Tuple[str, ...] = ("repro.campaign", "repro.scenarios")
+    # LAYER02: observability must stay an import leaf.
+    layer_leaf: Tuple[str, ...] = ("repro.obs",)
+    # LAYER03: read-only consumers vs the behavior-producing core.
+    layer_consumers: Tuple[str, ...] = ("repro.certification", "repro.analysis")
+    layer_core: Tuple[str, ...] = (
+        "repro.sim",
+        "repro.middleware",
+        "repro.devices",
+        "repro.patient",
+        "repro.core",
+    )
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return not self.select or rule_id in self.select
+
+
+_KEY_MAP = {
+    "paths": "paths",
+    "exclude": "exclude",
+    "select": "select",
+    "det-scope": "det_scope",
+    "wallclock-allowlist": "wallclock_allowlist",
+    "layer-sim": "layer_sim",
+    "layer-sim-forbidden": "layer_sim_forbidden",
+    "layer-leaf": "layer_leaf",
+    "layer-consumers": "layer_consumers",
+    "layer-core": "layer_core",
+}
+
+
+def config_from_mapping(data: Mapping[str, Any]) -> LintConfig:
+    """Build a config from a ``[tool.repro-lint]``-shaped mapping."""
+    overrides: dict[str, Tuple[str, ...]] = {}
+    known = {f.name for f in fields(LintConfig)}
+    for key, value in data.items():
+        name = _KEY_MAP.get(key, key.replace("-", "_"))
+        if name not in known:
+            raise ValueError(f"unknown [tool.repro-lint] key {key!r}")
+        if not isinstance(value, (list, tuple)) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ValueError(f"[tool.repro-lint] key {key!r} must be a list of strings")
+        overrides[name] = tuple(value)
+    return replace(LintConfig(), **overrides)
+
+
+def load_config(start: Optional[Path] = None) -> LintConfig:
+    """Load config from the nearest ``pyproject.toml`` at or above ``start``."""
+    directory = (start or Path.cwd()).resolve()
+    if directory.is_file():
+        directory = directory.parent
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return load_config_file(pyproject)
+    return LintConfig()
+
+
+def load_config_file(pyproject: Path) -> LintConfig:
+    """Parse ``[tool.repro-lint]`` out of one specific pyproject file."""
+    if tomllib is None:  # pragma: no cover - Python 3.10 fallback
+        return LintConfig()
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, Mapping):
+        raise ValueError("[tool.repro-lint] must be a table")
+    return config_from_mapping(section)

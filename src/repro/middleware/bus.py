@@ -162,19 +162,23 @@ class DeviceBus:
             name=f"bus:forward:{message.topic}",
         )
 
-    def _forward(self, message: Message) -> None:
+    def _forward(self, message: Message) -> None:  # repro-lint: hot
         # Deliver one copy per subscribed endpoint; the endpoint's downlink
         # channel then fans the message out to the handlers registered at
         # subscribe() time.  The original publish time travels in the
-        # envelope for end-to-end latency accounting.  Dedup with
-        # dict.fromkeys, NOT a set: subscription (insertion) order makes
-        # delivery order — and hence downlink sequence numbers and kernel
-        # tiebreaks — independent of PYTHONHASHSEED.
-        endpoints = dict.fromkeys(
-            endpoint_id for endpoint_id, _ in self._subscriptions.get(message.topic, ())
-        )
-        if not endpoints:
+        # envelope for end-to-end latency accounting.  Dedup with an
+        # insertion-ordered dict, NOT a set: subscription (insertion) order
+        # makes delivery order — and hence downlink sequence numbers and
+        # kernel tiebreaks — independent of PYTHONHASHSEED.  The plain loop
+        # (vs dict.fromkeys over a genexpr) keeps the per-forward generator
+        # frame off this hot path without changing iteration order.
+        subscriptions = self._subscriptions.get(message.topic)
+        if not subscriptions:
             return
+        endpoints = {}
+        for endpoint_id, _ in subscriptions:
+            if endpoint_id not in endpoints:
+                endpoints[endpoint_id] = None
         envelope = Envelope(message.payload, message.sent_at)
         obs = self._obs
         for endpoint_id in endpoints:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
@@ -46,7 +46,7 @@ _TYPE_ORDER = {"meta": 0, "counter": 1, "gauge": 2, "histogram": 3,
 Line = Dict[str, Any]
 
 
-def _sort_key(line: Line):
+def _sort_key(line: Line) -> Tuple[int, str, str, str, str]:
     kind = line.get("type", "")
     return (
         _TYPE_ORDER.get(kind, len(_TYPE_ORDER)),

@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 def derive_id(seed: str) -> str:
     """16-hex-char id deterministically derived from ``seed``."""
-    return hashlib.sha256(seed.encode("utf-8")).hexdigest()[:16]
+    return hashlib.sha256(seed.encode()).hexdigest()[:16]
 
 
 class Span:

@@ -71,13 +71,13 @@ class Reading:
             return getattr(self, key)
         return default
 
-    def keys(self):
+    def keys(self) -> tuple[str, ...]:
         return _FIELDS
 
-    def values(self):
+    def values(self) -> tuple[Any, ...]:
         return (self.value, self.valid, self.time)
 
-    def items(self):
+    def items(self) -> tuple[tuple[str, Any], ...]:
         return tuple(zip(_FIELDS, (self.value, self.valid, self.time)))
 
     def __iter__(self) -> Iterator[str]:
@@ -89,7 +89,7 @@ class Reading:
     def __contains__(self, key: object) -> bool:
         return key in _FIELDS
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """The legacy dict payload form (same key order the devices used)."""
         return {"value": self.value, "valid": self.valid, "time": self.time}
 
@@ -107,7 +107,7 @@ class Reading:
     def __hash__(self) -> int:
         return hash((Reading, self.value, self.valid, self.time))
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type, tuple[Any, bool, float]]:
         # Default slot pickling restores state via setattr, which immutability
         # blocks; rebuild through the constructor instead (campaign workers
         # move objects across processes).

@@ -28,7 +28,7 @@ def _hash_entry(index: int, time: float, actor: str, action: str, details: Dict[
         sort_keys=True,
         default=str,
     )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 class AuditLog:

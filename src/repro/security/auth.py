@@ -57,7 +57,7 @@ class DeviceAuthenticator:
         if principal not in self._keys:
             raise AuthenticationError(f"principal {principal!r} is not provisioned")
         self._nonce_counter += 1
-        nonce = hashlib.sha256(f"{principal}:{self._nonce_counter}".encode("utf-8")).digest()
+        nonce = hashlib.sha256(f"{principal}:{self._nonce_counter}".encode()).digest()
         self._outstanding[principal] = nonce
         return nonce
 

@@ -136,6 +136,10 @@ class Channel:
         # only bit-identical delivery times ever share an event; entries are
         # popped when their event fires (bounded by in-flight messages).
         self._pending: Dict[float, List[Message]] = {}
+        # Hoisted once: scheduling the bound method directly (the kernel
+        # fires it at exactly the pending key's time) avoids allocating a
+        # closure per scheduled delivery tick on the hot send path.
+        self._deliver_batch_cb = self._deliver_batch
         self.sent: int = 0
         self.delivered: int = 0
         self.dropped: int = 0
@@ -179,7 +183,7 @@ class Channel:
         return any(start <= time < end for start, end in self._outages)
 
     # ---------------------------------------------------------------- sending
-    def send(self, sender: str, topic: str, payload: Any) -> Message:
+    def send(self, sender: str, topic: str, payload: Any) -> Message:  # repro-lint: hot
         """Send a message; returns the (pre-delivery) message record."""
         now = self.simulator.now
         message = Message(sender, topic, payload, now, next(self._sequence))
@@ -229,7 +233,7 @@ class Channel:
             self._pending[delivery_time] = [message]
             self.simulator.schedule_at(
                 delivery_time,
-                lambda: self._deliver_batch(delivery_time),
+                self._deliver_batch_cb,
                 name=self._deliver_name,
             )
         return message
@@ -252,12 +256,15 @@ class Channel:
             )
         return rng
 
-    def _deliver_batch(self, time: float) -> None:
-        # Pop before draining: a handler that sends another zero-remaining-
-        # latency message for this same instant must get a fresh kernel event
+    def _deliver_batch(self) -> None:  # repro-lint: hot
+        # The kernel fires this event at exactly the pending key's time (the
+        # queue entry and the key are the same float object), so `now` IS the
+        # batch key — no per-schedule closure needed to carry it.  Pop before
+        # draining: a handler that sends another zero-remaining-latency
+        # message for this same instant must get a fresh kernel event
         # (scheduled at now, running after this one), exactly as it did when
         # every message had its own event.
-        batch = self._pending.pop(time)
+        batch = self._pending.pop(self.simulator.now)
         size = len(batch)
         if size > self.max_batch:
             self.max_batch = size
@@ -271,7 +278,7 @@ class Channel:
         for message in batch:
             deliver(message)
 
-    def _deliver(self, message: Message) -> None:
+    def _deliver(self, message: Message) -> None:  # repro-lint: hot
         delivered = message.with_delivery(self.simulator.now)
         self.delivered += 1
         latency = delivered.latency or 0.0

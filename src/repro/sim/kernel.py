@@ -112,6 +112,7 @@ class Simulator:
         return self._event_count
 
     # ------------------------------------------------------------ scheduling
+    # repro-lint: hot
     def schedule(
         self,
         delay: float,
@@ -142,6 +143,7 @@ class Simulator:
                 metrics.heap_peak = depth
         return event
 
+    # repro-lint: hot
     def schedule_at(
         self,
         time: float,
@@ -188,6 +190,7 @@ class Simulator:
         return task
 
     # --------------------------------------------------------------- running
+    # repro-lint: hot
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue empties, ``until`` is reached, or stop().
 

@@ -26,7 +26,7 @@ def derive_seed(master_seed: int, name: str) -> int:
     """
     if master_seed < 0:
         raise ValueError("master_seed must be non-negative")
-    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "little")
 
 

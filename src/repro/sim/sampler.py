@@ -91,7 +91,7 @@ class BatchedTraceWriter:
             self._batch_list.append(batch)
         return batch
 
-    def record(self, time: float, signal: str, value: Any) -> None:
+    def record(self, time: float, signal: str, value: Any) -> None:  # repro-lint: hot
         """Append a sample of ``signal`` (short name) at ``time``."""
         batch = self._batches.get(signal)
         if batch is None:
@@ -99,7 +99,7 @@ class BatchedTraceWriter:
         batch.times.append(time)
         batch.values.append(value)
 
-    def flush(self) -> None:
+    def flush(self) -> None:  # repro-lint: hot
         """Drain every non-empty batch into the recorder via ``record_many``."""
         trace = self.trace
         flushed = 0
@@ -172,7 +172,7 @@ class PeriodicSampler(PeriodicTask):
         super().start(first_time)
         return self
 
-    def _tick(self) -> None:
+    def _tick(self) -> None:  # repro-lint: hot
         if self._cancelled:
             return
         super()._tick()

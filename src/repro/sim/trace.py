@@ -102,7 +102,7 @@ class TraceRecorder:
             flush()
 
     # -------------------------------------------------------------- recording
-    def record(self, time: float, signal: str, value: Any, source: str = "") -> None:
+    def record(self, time: float, signal: str, value: Any, source: str = "") -> None:  # repro-lint: hot
         """Append a sample of ``signal`` at ``time``."""
         buffer = self._signals.get(signal)
         if buffer is None:
@@ -112,6 +112,7 @@ class TraceRecorder:
         buffer._times_arr = None
         buffer._values_arr = None
 
+    # repro-lint: hot
     def record_many(
         self,
         signal: str,

@@ -72,7 +72,7 @@ SCENARIO_SPECS: Dict[str, Dict[str, Any]] = {
 
 def _digest(payload: Any) -> str:
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def kernel_workload() -> Dict[str, Any]:

@@ -1,0 +1,1 @@
+"""Fixture package for repro.lint tests (parsed, never imported)."""

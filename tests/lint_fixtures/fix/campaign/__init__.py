@@ -1,0 +1,1 @@
+"""Fixture 'campaign driver' layer: forbidden import target for fix.sim."""

@@ -1,0 +1,5 @@
+"""A clean campaign module; exists only to be (wrongly) imported."""
+
+
+def run() -> int:
+    return 0

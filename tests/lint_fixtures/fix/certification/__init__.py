@@ -1,0 +1,1 @@
+"""Fixture certification layer: read-only consumer."""

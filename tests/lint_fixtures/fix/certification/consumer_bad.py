@@ -1,0 +1,5 @@
+"""LAYER03 (consumer -> core) failing fixture."""
+
+from fix.sim import det_good  # LAYER03: consumer imports the live engine
+
+__all__ = ["det_good"]

@@ -1,0 +1,1 @@
+"""Fixture observability layer: import leaf, wall-clock allowlisted."""

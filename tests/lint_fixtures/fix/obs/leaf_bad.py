@@ -1,0 +1,5 @@
+"""LAYER02 failing fixture: the observability leaf imports the project."""
+
+from fix.campaign import runner  # LAYER02: obs must stay an import leaf
+
+__all__ = ["runner"]

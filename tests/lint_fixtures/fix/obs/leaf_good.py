@@ -1,0 +1,8 @@
+"""Passing LAYER02/DET03 fixture: stdlib only, allowlisted wall clock."""
+
+import json
+import time
+
+
+def snapshot():
+    return json.dumps({"captured_at": time.time()})  # allowlisted module

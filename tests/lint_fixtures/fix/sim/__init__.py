@@ -1,0 +1,1 @@
+"""Fixture 'simulation core' layer: in det-scope, in layer-core."""

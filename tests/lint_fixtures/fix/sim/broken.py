@@ -1,0 +1,4 @@
+"""LINT02 fixture: unparseable on purpose."""
+
+def broken(:
+    return

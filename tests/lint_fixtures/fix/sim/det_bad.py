@@ -1,0 +1,38 @@
+"""One failing fixture per DET rule, all inside the det-scope package."""
+
+import random
+import time
+from heapq import heappush
+
+
+def det01_set_expression():
+    out = []
+    for item in {"a", "b", "c"}:  # DET01: set expression
+        out.append(item)
+    return out
+
+
+def det01_set_typed_name():
+    seen = set()
+    seen.add("x")
+    return [item for item in seen]  # DET01: set-typed local
+
+
+def det02_module_level_random():
+    return random.random()  # DET02: shared unseeded generator
+
+
+def det02_unseeded_constructor():
+    return random.Random()  # DET02: constructed without a seed
+
+
+def det03_wall_clock():
+    return time.time()  # DET03: wall clock outside the allowlist
+
+
+def det04_identity_sort(items):
+    return sorted(items, key=id)  # DET04: id() orders the result
+
+
+def det04_identity_heap(heap, obj):
+    heappush(heap, (hash(obj), obj))  # DET04: hash() in a heap entry

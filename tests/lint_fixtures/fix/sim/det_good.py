@@ -1,0 +1,21 @@
+"""Passing counterparts for every DET rule."""
+
+import random
+
+
+def det01_sorted_iteration():
+    names = {"a", "b", "c"}
+    return [item for item in sorted(names)]  # sorted first: deterministic
+
+
+def det02_seeded_stream():
+    rng = random.Random(42)
+    return rng.random()
+
+
+def det03_simulated_time(simulator):
+    return simulator.now  # simulated clock, not the wall clock
+
+
+def det04_stable_sort(items):
+    return sorted(items, key=lambda pair: pair[0])

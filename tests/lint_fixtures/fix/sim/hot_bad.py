@@ -1,0 +1,17 @@
+"""One failing fixture per HOT rule inside marked-hot functions."""
+
+
+class UnslottedPayload:
+    def __init__(self, value):
+        self.value = value
+
+
+class Worker:
+    def dispatch(self, value):  # repro-lint: hot
+        return UnslottedPayload(value)  # HOT01: no __slots__
+
+    def publish(self, value, time):  # repro-lint: hot
+        return {"value": value, "time": time}  # HOT02: per-call dict
+
+    def forward(self, items):  # repro-lint: hot
+        return sorted(items, key=lambda item: item.seq)  # HOT03: lambda

@@ -1,0 +1,29 @@
+"""Passing counterparts for every HOT rule."""
+
+
+class SlottedPayload:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+def _seq_key(item):
+    return item.seq
+
+
+class Worker:
+    def __init__(self):
+        self._key = _seq_key  # hoisted once, reused per call
+
+    def dispatch(self, value):  # repro-lint: hot
+        return SlottedPayload(value)  # slotted: no per-instance dict
+
+    def accumulate(self, items):  # repro-lint: hot
+        acc = {}  # empty accumulator dict is allowed
+        for item in items:
+            acc[item.key] = item
+        return acc
+
+    def forward(self, items):  # repro-lint: hot
+        return sorted(items, key=self._key)

@@ -1,0 +1,6 @@
+"""LAYER01 + LAYER03 (core -> consumer) failing fixture."""
+
+from fix.campaign import runner  # LAYER01: sim imports its driver
+from fix.certification import consumer_bad  # LAYER03: core imports a consumer
+
+__all__ = ["runner", "consumer_bad"]

@@ -1,0 +1,7 @@
+"""A reasonless suppression: LINT01, and the target rule still fails."""
+
+import time
+
+
+def sloppy_stamp():
+    return time.time()  # repro-lint: disable=DET03

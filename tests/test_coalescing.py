@@ -105,6 +105,32 @@ class TestEventCoalescing:
         assert channel.delivered == 300
         assert channel._pending == {}  # fully drained, no leak
 
+    def test_delivery_events_share_one_hoisted_callback(self):
+        # HOT03 regression: send() must schedule the pre-bound
+        # _deliver_batch_cb, never a per-tick closure.  Every queued
+        # delivery event carries the identical callable object.
+        sim = Simulator()
+        channel = make_channel(sim, latency_s=0.05)
+        channel.subscribe(lambda m: None)
+
+        def queued_delivery_callbacks():
+            return [
+                entry[3].callback
+                for entry in sim._queue
+                if entry[3].name == channel._deliver_name
+            ]
+
+        channel.send("a", "t", 1)
+        first = queued_delivery_callbacks()
+        assert first == [channel._deliver_batch_cb]
+        sim.run()
+        channel.send("a", "t", 2)
+        second = queued_delivery_callbacks()
+        assert second == [channel._deliver_batch_cb]
+        assert first[0] is second[0]
+        sim.run()
+        assert channel.delivered == 2
+
     def test_bandwidth_serialisation_unaffected(self):
         # Bandwidth-limited sends get distinct service slots, so nothing
         # coalesces and the serialisation timing contract is unchanged.

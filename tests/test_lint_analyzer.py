@@ -1,0 +1,240 @@
+"""Tests for the repro.lint contract analyzer.
+
+Four layers of assurance:
+
+* every rule catches its failing fixture (and only there) in the ``fix``
+  package under ``tests/lint_fixtures/``,
+* every passing fixture stays clean — the rules aren't just firing on
+  everything,
+* the analyzer is self-clean: ``src/`` (including ``repro.lint`` itself)
+  produces zero failing violations with zero suppressions in the
+  simulation core, and
+* the baseline workflow round-trips: accepted violations pass, fixed
+  ones go stale and fail until the baseline is regenerated.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import load_config, run_lint
+from repro.lint.config import load_config_file
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+@pytest.fixture(scope="module")
+def fixture_result():
+    config = load_config_file(FIXTURES / "pyproject.toml")
+    return run_lint([FIXTURES / "fix"], config, root=FIXTURES)
+
+
+def rules_at(result, rel_path):
+    return {v.rule for v in result.failing if v.path == rel_path}
+
+
+class TestRuleFixtures:
+    def test_exit_code_is_one_on_failing_fixtures(self, fixture_result):
+        assert fixture_result.exit_code == 1
+        assert len(fixture_result.failing) == 17
+
+    def test_det_rules_fire_on_the_det_fixture(self, fixture_result):
+        rules = rules_at(fixture_result, "fix/sim/det_bad.py")
+        assert rules == {"DET01", "DET02", "DET03", "DET04"}
+        det01 = [v for v in fixture_result.failing if v.rule == "DET01"]
+        assert len(det01) == 2  # set expression + set-typed local
+        det02 = [v for v in fixture_result.failing if v.rule == "DET02"]
+        assert len(det02) == 2  # module-level draw + unseeded constructor
+
+    def test_hot_rules_fire_on_the_hot_fixture(self, fixture_result):
+        rules = rules_at(fixture_result, "fix/sim/hot_bad.py")
+        assert rules == {"HOT01", "HOT02", "HOT03"}
+        hot01 = next(v for v in fixture_result.failing if v.rule == "HOT01")
+        assert "UnslottedPayload" in hot01.message
+        assert hot01.symbol == "dispatch"
+
+    def test_layer01_and_layer03_fire_on_the_sim_fixture(self, fixture_result):
+        rules = rules_at(fixture_result, "fix/sim/layer_bad.py")
+        assert rules == {"LAYER01", "LAYER03"}
+
+    def test_layer02_fires_on_the_obs_fixture(self, fixture_result):
+        assert rules_at(fixture_result, "fix/obs/leaf_bad.py") == {"LAYER02"}
+
+    def test_layer03_fires_on_the_consumer_fixture(self, fixture_result):
+        rules = rules_at(fixture_result, "fix/certification/consumer_bad.py")
+        assert rules == {"LAYER03"}
+
+    def test_lint01_fires_on_reasonless_suppression(self, fixture_result):
+        rules = rules_at(fixture_result, "fix/sim/suppressed_bad.py")
+        # The reasonless disable is itself a violation AND fails to
+        # suppress the wall-clock read it targeted.
+        assert rules == {"LINT01", "DET03"}
+
+    def test_lint02_fires_on_syntax_error(self, fixture_result):
+        assert rules_at(fixture_result, "fix/sim/broken.py") == {"LINT02"}
+
+    def test_passing_fixtures_stay_clean(self, fixture_result):
+        for clean in (
+            "fix/sim/det_good.py",
+            "fix/sim/hot_good.py",
+            "fix/obs/leaf_good.py",
+            "fix/campaign/runner.py",
+        ):
+            assert rules_at(fixture_result, clean) == set(), clean
+
+    def test_reasoned_suppression_is_recorded_not_failing(self, fixture_result):
+        assert rules_at(fixture_result, "fix/sim/suppressed_ok.py") == set()
+        suppressed = [
+            v for v in fixture_result.suppressed
+            if v.path == "fix/sim/suppressed_ok.py"
+        ]
+        assert [v.rule for v in suppressed] == ["DET03"]
+
+    def test_hot_marker_count_covers_marked_fixtures(self, fixture_result):
+        # hot_bad has 3 marked methods, hot_good has 3.
+        assert fixture_result.hot_functions == 6
+
+
+class TestSelfClean:
+    def test_src_is_clean_with_zero_suppressions_in_core(self):
+        config = load_config(REPO)
+        result = run_lint([SRC], config, root=REPO)
+        assert result.failing == []
+        assert result.exit_code == 0
+        core = [
+            v for v in result.suppressed
+            if v.path.startswith(("src/repro/sim/", "src/repro/middleware/"))
+        ]
+        assert core == []  # the simulation core earns a clean pass outright
+
+    def test_hot_paths_are_marked_in_src(self):
+        config = load_config(REPO)
+        result = run_lint([SRC], config, root=REPO)
+        assert result.hot_functions >= 12
+
+    def test_cli_json_on_src_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "--format", "json"],
+            cwd=REPO,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["violations"] == []
+        assert payload["summary"]["failing"] == 0
+        assert payload["summary"]["exit_code"] == 0
+
+    def test_cli_list_rules_names_every_family(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--list-rules"],
+            cwd=REPO,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
+        assert listed == {
+            "DET01", "DET02", "DET03", "DET04",
+            "HOT01", "HOT02", "HOT03",
+            "LAYER01", "LAYER02", "LAYER03",
+            "LINT01",
+        }
+
+
+VIOLATING = '''\
+"""Mini project module with one deliberate DET02 violation."""
+
+import random
+
+
+def draw():
+    return random.random()
+'''
+
+FIXED = '''\
+"""Mini project module after the violation was fixed."""
+
+import random
+
+
+def draw():
+    return random.Random(7).random()
+'''
+
+MINI_PYPROJECT = """\
+[tool.repro-lint]
+paths = ["pkg"]
+det-scope = ["pkg"]
+"""
+
+
+class TestBaselineRoundTrip:
+    def _cli(self, tmp_path, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", "pkg",
+             "--config", "pyproject.toml", *argv],
+            cwd=tmp_path,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+
+    def test_baseline_accepts_then_goes_stale(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(MINI_PYPROJECT)
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(VIOLATING)
+
+        # 1. The violation fails the plain run.
+        plain = self._cli(tmp_path)
+        assert plain.returncode == 1
+        assert "DET02" in plain.stdout
+
+        # 2. Writing a baseline accepts it ...
+        wrote = self._cli(tmp_path, "--baseline", "lint-baseline.json",
+                          "--write-baseline")
+        assert wrote.returncode == 0
+        baseline = json.loads((tmp_path / "lint-baseline.json").read_text())
+        assert len(baseline["fingerprints"]) == 1
+
+        # 3. ... and the baselined run is clean.
+        accepted = self._cli(tmp_path, "--baseline", "lint-baseline.json")
+        assert accepted.returncode == 0, accepted.stdout
+
+        # 4. Fixing the violation strands the baseline entry: stale -> 3.
+        (pkg / "mod.py").write_text(FIXED)
+        stale = self._cli(tmp_path, "--baseline", "lint-baseline.json")
+        assert stale.returncode == 3
+        assert "stale baseline entry" in stale.stdout
+
+        # 5. Regenerating shrinks the baseline back to empty.
+        rewrote = self._cli(tmp_path, "--baseline", "lint-baseline.json",
+                            "--write-baseline")
+        assert rewrote.returncode == 0
+        baseline = json.loads((tmp_path / "lint-baseline.json").read_text())
+        assert baseline["fingerprints"] == {}
+        clean = self._cli(tmp_path, "--baseline", "lint-baseline.json")
+        assert clean.returncode == 0
+
+    def test_baseline_survives_line_moves(self, tmp_path):
+        # Fingerprints hash the line's content, not its number: prepending
+        # code above the accepted violation must not go stale.
+        (tmp_path / "pyproject.toml").write_text(MINI_PYPROJECT)
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(VIOLATING)
+        wrote = self._cli(tmp_path, "--baseline", "b.json", "--write-baseline")
+        assert wrote.returncode == 0
+        (pkg / "mod.py").write_text("X = 1\n\n\n" + VIOLATING)
+        moved = self._cli(tmp_path, "--baseline", "b.json")
+        assert moved.returncode == 0, moved.stdout
