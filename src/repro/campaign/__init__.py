@@ -19,20 +19,35 @@ Carlo campaigns:
 * :mod:`~repro.campaign.resilience` -- fault-tolerant execution: bounded
   deterministic retry of transient failures, structured error capture,
   and a parent-side watchdog that survives hung and killed workers.
+* :mod:`~repro.campaign.sharding` -- K-way partition of an expanded
+  campaign into independently executable, independently seeded shards
+  whose finalized segments merge byte-identically
+  (:meth:`~repro.campaign.store.ResultStore.merge`).
 * :mod:`~repro.campaign.aggregate` -- grouped aggregation feeding
   :mod:`repro.analysis` (summary tables, safety outcomes) over thousands
-  of stored runs.
+  of stored runs, materialised or streaming (running moments + a
+  deterministic quantile sketch for fleet-scale stores).
 * :mod:`~repro.campaign.cli` -- ``python -m repro.campaign run <spec>``.
 """
 
 from repro.campaign.aggregate import (
+    QuantileSketch,
+    RunningMoments,
+    StreamingAggregator,
     campaign_table,
     group_records,
     safety_outcomes,
     safety_table,
+    streaming_campaign_table,
     summarise_metric,
 )
 from repro.campaign.engine import CampaignEngine, CampaignReport, run_campaign
+from repro.campaign.sharding import (
+    ShardSelector,
+    all_shards,
+    load_spec_or_shard,
+    write_shard_manifests,
+)
 from repro.campaign.resilience import (
     ResilienceConfig,
     RetryPolicy,
@@ -54,19 +69,32 @@ from repro.campaign.spec import (
     cohort_patient,
     patient_from_params,
 )
-from repro.campaign.store import ResultStore, load_errors, load_results
+from repro.campaign.store import (
+    MergeResult,
+    ResultStore,
+    SegmentInfo,
+    load_errors,
+    load_results,
+)
 
 __all__ = [
     "CampaignEngine",
     "CampaignError",
     "CampaignReport",
     "CampaignSpec",
+    "MergeResult",
+    "QuantileSketch",
     "ResilienceConfig",
     "ResultStore",
     "RetryPolicy",
     "RunManifest",
+    "RunningMoments",
     "ScenarioSpec",
+    "SegmentInfo",
+    "ShardSelector",
+    "StreamingAggregator",
     "TransientError",
+    "all_shards",
     "campaign_scenario",
     "campaign_table",
     "cohort_patient",
@@ -77,10 +105,13 @@ __all__ = [
     "list_scenarios",
     "load_errors",
     "load_results",
+    "load_spec_or_shard",
     "patient_from_params",
     "register_scenario",
     "run_campaign",
     "safety_outcomes",
     "safety_table",
+    "streaming_campaign_table",
     "summarise_metric",
+    "write_shard_manifests",
 ]

@@ -7,8 +7,20 @@ Commands
 ``run SPEC.json``
     Execute a campaign spec, optionally in parallel and/or persisted to a
     campaign directory (which then supports ``--resume`` and ``report``).
+    ``--shard I/K`` executes only the I-th of K partitions (any box, any
+    time, resumable independently); the spec may itself be a shard
+    manifest emitted by ``shard``.
+``shard SPEC.json --count K --out DIR``
+    Emit K self-contained shard-manifest files, one dispatchable work
+    unit per box.
+``merge SEG [SEG ...] --out DIR``
+    Fold finalized shard segments into one store whose ``results.jsonl``
+    is byte-identical to a serial run, writing a content-hashed
+    ``shard_index.json`` alongside.
 ``report DIR``
-    Aggregate a stored campaign into a summary table.
+    Aggregate a stored campaign into a summary table via streaming
+    (record-at-a-time) aggregation — a 100k-run store is never loaded
+    into memory.
 
 All commands emit through the :mod:`repro.obs.logging` facade: ``--json``
 switches every line to NDJSON events (tables are emitted structurally as
@@ -24,12 +36,19 @@ import argparse
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.campaign.aggregate import campaign_table
+from pathlib import Path
+
+from repro.campaign.aggregate import campaign_table, streaming_campaign_table
 from repro.campaign.engine import run_campaign
 from repro.campaign.registry import CampaignError, get_scenario, list_scenarios
 from repro.campaign.resilience import ResilienceConfig, RetryPolicy
+from repro.campaign.sharding import (STRATEGIES, ShardSelector,
+                                     load_spec_or_shard,
+                                     write_shard_manifests)
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import ResultStore, load_results
+from repro.campaign.store import ResultStore
+from repro.obs import export as obs_export
+from repro.obs import metrics as obs_metrics
 from repro.obs.logging import StructLogger, get_logger
 
 
@@ -54,7 +73,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", parents=[output],
                               help="execute a campaign spec (JSON file)")
-    run.add_argument("spec", help="path to a campaign spec JSON file")
+    run.add_argument("spec", help="path to a campaign spec JSON file "
+                                  "(or a shard manifest emitted by 'shard')")
+    run.add_argument("--shard", default=None, metavar="I/K",
+                     help="execute only the I-th of K partitions of the "
+                          "expanded campaign (1-based, e.g. 2/4); segments "
+                          "merge byte-identically via 'merge'")
+    run.add_argument("--shard-strategy", choices=STRATEGIES,
+                     default="contiguous",
+                     help="partition assignment for --shard (default: "
+                          "contiguous blocks; strided balances systematic "
+                          "cost gradients)")
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes (1 = deterministic serial reference)")
     run.add_argument("--out", default=None,
@@ -90,6 +119,33 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="with --isolate-failures and --workers > 1: per-run "
                           "wall-clock budget; a run exceeding it is "
                           "quarantined and its worker killed and respawned")
+
+    shard = commands.add_parser(
+        "shard", parents=[output],
+        help="partition a campaign into dispatchable shard manifests")
+    shard.add_argument("spec", help="path to a campaign spec JSON file")
+    shard.add_argument("--count", type=int, required=True, metavar="K",
+                       help="number of shards to emit")
+    shard.add_argument("--strategy", choices=STRATEGIES, default="contiguous",
+                       help="partition assignment (default: contiguous)")
+    shard.add_argument("--out", required=True, metavar="DIR",
+                       help="directory for the shard manifest files")
+
+    merge = commands.add_parser(
+        "merge", parents=[output],
+        help="merge finalized shard segments into one campaign store")
+    merge.add_argument("segments", nargs="+",
+                       help="shard segment directories written by "
+                            "'run --shard I/K --out SEG'")
+    merge.add_argument("--out", required=True, metavar="DIR",
+                       help="directory for the merged store")
+    merge.add_argument("--allow-partial", action="store_true",
+                       help="merge whatever segments are present instead of "
+                            "failing on missing shards/runs")
+    merge.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="enable observability and merge each segment's "
+                            "metrics.ndjson (plus the merge's own counters) "
+                            "into one snapshot at PATH")
 
     report = commands.add_parser("report", parents=[output],
                                  help="summarise a stored campaign")
@@ -139,6 +195,14 @@ def _default_metrics(records: Sequence[Dict[str, Any]], limit: int = 6) -> List[
     return metrics[:limit]
 
 
+def _emit_rendered(log: StructLogger, table) -> None:
+    if log.json_mode:
+        log.info(event="table", title=table.title, columns=list(table.columns),
+                 rows=[list(row) for row in table.rows])
+    else:
+        log.info(table.render())
+
+
 def _emit_table(log: StructLogger, records, group_by, metrics,
                 statistic="mean", title="campaign summary"):
     if not records:
@@ -149,11 +213,7 @@ def _emit_table(log: StructLogger, records, group_by, metrics,
     table = campaign_table(
         records, group_by=group_by, metrics=metrics, statistic=statistic, title=title
     )
-    if log.json_mode:
-        log.info(event="table", title=table.title, columns=list(table.columns),
-                 rows=[list(row) for row in table.rows])
-    else:
-        log.info(table.render())
+    _emit_rendered(log, table)
 
 
 def _cmd_list(log: StructLogger) -> int:
@@ -174,12 +234,25 @@ def _cmd_list(log: StructLogger) -> int:
 
 
 def _cmd_run(args: argparse.Namespace, log: StructLogger) -> int:
-    spec = CampaignSpec.from_file(args.spec)
+    spec, shard = load_spec_or_shard(args.spec)
+    if args.shard is not None:
+        selected = ShardSelector.parse(args.shard, args.shard_strategy)
+        if shard is not None and shard != selected:
+            raise CampaignError(
+                f"spec file {args.spec} is the manifest for shard "
+                f"{shard.label} but --shard requested {selected.label}")
+        shard = selected
     total = spec.grid_size()
+    shard_note = ""
+    if shard is not None:
+        owned = len(shard.run_indices(total))
+        shard_note = f" (shard {shard.label}: {owned} of {total} runs)"
     log.info(f"campaign {spec.name!r}: {total} runs of scenario {spec.scenario!r} "
-             f"({args.workers} worker{'s' if args.workers != 1 else ''})",
+             f"({args.workers} worker{'s' if args.workers != 1 else ''})"
+             f"{shard_note}",
              event="campaign-start", campaign=spec.name, scenario=spec.scenario,
-             runs=total, workers=args.workers)
+             runs=total, workers=args.workers,
+             shard=shard.label if shard is not None else None)
 
     def progress(done: int, total_runs: int, record: Dict[str, Any]) -> None:
         log.info(f"  [{done}/{total_runs}] {record['run_id']}",
@@ -206,6 +279,7 @@ def _cmd_run(args: argparse.Namespace, log: StructLogger) -> int:
         flush_every=args.flush_every,
         metrics_out=args.metrics_out,
         resilience=resilience,
+        shard=shard,
     )
     where = f" -> {report.directory}" if report.directory else ""
     log.info(f"completed {report.total} runs "
@@ -239,19 +313,95 @@ def _cmd_run(args: argparse.Namespace, log: StructLogger) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace, log: StructLogger) -> int:
+    spec = CampaignSpec.from_file(args.spec)
+    written = write_shard_manifests(spec, args.out, args.count, args.strategy)
+    for path, selector, runs in written:
+        log.info(f"  shard {selector.label}: {runs} runs -> {path}",
+                 event="shard-written", shard=selector.label, runs=runs,
+                 path=str(path))
+    total = sum(runs for _, _, runs in written)
+    log.info(f"campaign {spec.name!r}: {total} runs partitioned into "
+             f"{args.count} {args.strategy} shard manifest(s) in {args.out}",
+             event="shard-done", campaign=spec.name, runs=total,
+             count=args.count, strategy=args.strategy, directory=args.out)
+    return 0
+
+
+def _merge_metrics(args: argparse.Namespace, log: StructLogger,
+                   merged_segments: int) -> None:
+    """Fold per-segment metrics snapshots + the merge's own counters.
+
+    Reuses the engine's worker-shard merge path: each segment directory may
+    carry a ``metrics.ndjson`` written by ``run --metrics-out``; those fold
+    bucket-wise (per-shard wall histograms) and sum-wise (counters) with a
+    parent snapshot carrying ``campaign.shards_merged``.
+    """
+    instruments = obs_metrics.campaign_instruments()
+    if instruments is not None:
+        instruments.shards_merged.value += merged_segments
+    groups = [obs_export.snapshot_lines(meta={"source": "campaign-merge"})]
+    for segment in args.segments:
+        snapshot = Path(segment) / "metrics.ndjson"
+        if snapshot.exists():
+            groups.append(obs_export.read_snapshot(snapshot))
+    out = Path(args.metrics_out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(obs_export.dump_lines(obs_export.merge_lines(groups)),
+                   encoding="utf-8")
+    log.info(f"metrics snapshot ({len(groups) - 1} segment shard(s)) -> {out}",
+             event="metrics-written", path=str(out), shards=len(groups) - 1)
+
+
+def _cmd_merge(args: argparse.Namespace, log: StructLogger) -> int:
+    if args.metrics_out is not None:
+        obs_metrics.enable()
+    store = ResultStore(args.out)
+    result = store.merge(args.segments, allow_partial=args.allow_partial)
+    for info in result.segments:
+        log.info(f"  shard {info.index}/{info.count}: {info.records} records "
+                 f"from {info.directory} (sha256 {info.sha256[:12]})",
+                 event="segment-merged", shard=f"{info.index}/{info.count}",
+                 records=info.records, directory=str(info.directory),
+                 sha256=info.sha256, skipped_lines=info.skipped_lines)
+    log.info(f"merged {result.records}/{result.total_runs} runs from "
+             f"{len(result.segments)} segment(s) -> {result.directory} "
+             f"(results sha256 {result.merged_sha256[:12]})",
+             event="merge-done", records=result.records,
+             total_runs=result.total_runs, segments=len(result.segments),
+             directory=str(result.directory), sha256=result.merged_sha256,
+             index=str(result.index_path), errors=result.errors)
+    if result.missing:
+        log.info(f"partial merge: {len(result.missing)} run(s) still missing",
+                 event="merge-partial", missing=len(result.missing))
+    if args.metrics_out is not None:
+        _merge_metrics(args, log, len(result.segments))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace, log: StructLogger) -> int:
-    records = load_results(args.directory)
-    if not records:
+    store = ResultStore(args.directory)
+    # A bounded peek infers default metrics; aggregation itself re-streams
+    # the file record-at-a-time, so the store is never materialised.
+    peek = store.head_records(64)
+    if not peek:
         log.error(f"no results in {args.directory}",
                   event="report-empty", directory=args.directory)
         return 1
-    manifest = ResultStore(args.directory).load_manifest()
+    manifest = store.load_manifest()
     spec = CampaignSpec.from_dict(manifest["spec"]) if manifest else None
     group_by = _csv(args.group_by) or (spec.sweep_axes() if spec else [])
-    metrics = _csv(args.metrics) or _default_metrics(records)
+    if not group_by:
+        group_by = ["scenario"]
+    metrics = _csv(args.metrics) or _default_metrics(peek)
     title = f"campaign {spec.name!r} report" if spec else "campaign report"
-    _emit_table(log, records, group_by, metrics,
-                statistic=args.statistic, title=title)
+    if not metrics:
+        log.info("no records", event="table")
+        return 0
+    table = streaming_campaign_table(
+        store.iter_records(), group_by=group_by, metrics=metrics,
+        statistic=args.statistic, title=title)
+    _emit_rendered(log, table)
     return 0
 
 
@@ -263,6 +413,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list(log)
         if args.command == "run":
             return _cmd_run(args, log)
+        if args.command == "shard":
+            return _cmd_shard(args, log)
+        if args.command == "merge":
+            return _cmd_merge(args, log)
         if args.command == "report":
             return _cmd_report(args, log)
     except CampaignError as error:

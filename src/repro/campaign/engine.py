@@ -39,6 +39,7 @@ from repro.campaign.resilience import (
     RetryPolicy,
     execute_with_capture,
 )
+from repro.campaign.sharding import ShardSelector
 from repro.campaign.spec import CampaignSpec, RunManifest
 from repro.campaign.store import ResultStore
 from repro.obs import export as obs_export
@@ -250,6 +251,7 @@ class CampaignReport:
     timed_out: int = 0
     worker_restarts: int = 0
     errors: List[Dict[str, Any]] = field(default_factory=list)
+    shard: Optional[ShardSelector] = None
 
     @property
     def total(self) -> int:
@@ -274,12 +276,16 @@ class CampaignEngine:
         flush_every: int = 1,
         metrics_out: Optional[Union[str, Path]] = None,
         resilience: Optional[ResilienceConfig] = None,
+        shard: Optional[ShardSelector] = None,
     ) -> None:
         if workers < 1:
             raise CampaignError("workers must be >= 1")
         if chunksize is not None and chunksize < 1:
             raise CampaignError("chunksize must be >= 1")
+        if shard is not None:
+            shard.validate()
         self.spec = spec
+        self.shard = shard
         self.workers = workers
         self.chunksize = chunksize
         self.store = (
@@ -312,6 +318,14 @@ class CampaignEngine:
         afresh).
         """
         manifests = self.spec.expand()
+        shard_block: Optional[Dict[str, Any]] = None
+        if self.shard is not None:
+            # A sharded session is a complete campaign over its partition:
+            # the same store/resume/finalize machinery runs unchanged on the
+            # subset, and the manifest records the claimed assignment so a
+            # later merge audits segments against it.
+            shard_block = self.shard.manifest_block(len(manifests))
+            manifests = self.shard.partition(manifests)
         completed: Dict[int, Dict[str, Any]] = {}
         if resume and self.store is None:
             raise CampaignError(
@@ -319,7 +333,7 @@ class CampaignEngine:
                 "pass the directory the interrupted campaign wrote to (--out)"
             )
         if self.store is not None:
-            self.store.check_manifest(self.spec, manifests)
+            self.store.check_manifest(self.spec, manifests, shard=shard_block)
             if resume:
                 self.store.repair()
                 self.store.reset_errors()
@@ -331,7 +345,7 @@ class CampaignEngine:
                     f"campaign directory {self.store.directory} already has results; "
                     "pass resume=True (or --resume) to continue it"
                 )
-            self.store.write_manifest(self.spec, manifests)
+            self.store.write_manifest(self.spec, manifests, shard=shard_block)
 
         pending = [m for m in manifests if m.run_index not in completed]
         done = len(completed)
@@ -393,6 +407,7 @@ class CampaignEngine:
             timed_out=timed_out,
             worker_restarts=worker_restarts,
             errors=errors,
+            shard=self.shard,
         )
 
     # --------------------------------------------------------------- workers
@@ -545,11 +560,12 @@ def run_campaign(
     flush_every: int = 1,
     metrics_out: Optional[Union[str, Path]] = None,
     resilience: Optional[ResilienceConfig] = None,
+    shard: Optional[ShardSelector] = None,
 ) -> CampaignReport:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
         spec, workers=workers, directory=directory, mp_context=mp_context,
         chunksize=chunksize, flush_every=flush_every, metrics_out=metrics_out,
-        resilience=resilience,
+        resilience=resilience, shard=shard,
     )
     return engine.run(resume=resume, progress=progress)

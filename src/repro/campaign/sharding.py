@@ -1,0 +1,204 @@
+"""Sharding: partition an expanded campaign into independent work units.
+
+A :class:`ShardSelector` names one of ``count`` disjoint partitions of a
+campaign's expanded run list.  Because every run is seeded from its stable
+run id (:func:`repro.sim.random.derive_seed`), a shard is a *complete*
+campaign over its subset: it can run on any box, at any time, resume
+independently, and its finalized ``results.jsonl`` segment merges with its
+siblings into bytes identical to a serial run of the whole campaign
+(:meth:`repro.campaign.store.ResultStore.merge`).
+
+Two assignment strategies, both pure functions of ``(run_index, count)``:
+
+``contiguous``
+    Nearly-equal consecutive blocks of the expanded order.  Best when runs
+    of similar parameters have similar cost (block locality keeps related
+    runs on one box).
+``strided``
+    Run ``i`` goes to shard ``(i % count) + 1``.  Best when cost varies
+    systematically along the expansion order (each shard samples the whole
+    grid, so wall times balance).
+
+The assignment is recorded in every shard's manifest (``shard`` block with
+explicit ``run_indices``), so a merge never has to re-derive the partition
+— segments are audited against what they claimed to own.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.campaign.registry import CampaignError
+from repro.campaign.spec import CampaignSpec, RunManifest
+
+#: Recognised shard assignment strategies.
+STRATEGIES = ("contiguous", "strided")
+
+
+@dataclass(frozen=True)
+class ShardSelector:
+    """One shard of a K-way campaign partition (``index`` is 1-based)."""
+
+    index: int
+    count: int
+    strategy: str = "contiguous"
+
+    def validate(self) -> None:
+        if self.count < 1:
+            raise CampaignError("shard count must be >= 1")
+        if not 1 <= self.index <= self.count:
+            raise CampaignError(
+                f"shard index must be in 1..{self.count}, got {self.index}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise CampaignError(
+                f"shard strategy must be one of {STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+
+    # -------------------------------------------------------------- identity
+    @property
+    def label(self) -> str:
+        """The CLI spelling, e.g. ``"2/4"``."""
+        return f"{self.index}/{self.count}"
+
+    def file_stem(self) -> str:
+        """Stable, sortable name, e.g. ``"shard-02-of-04"``."""
+        width = max(2, len(str(self.count)))
+        return f"shard-{self.index:0{width}d}-of-{self.count:0{width}d}"
+
+    @classmethod
+    def parse(cls, text: str, strategy: str = "contiguous") -> "ShardSelector":
+        """Parse the ``I/K`` CLI form (1-based, e.g. ``--shard 2/4``)."""
+        index_text, slash, count_text = text.partition("/")
+        try:
+            if slash != "/":
+                raise ValueError(text)
+            selector = cls(int(index_text), int(count_text), strategy)
+        except ValueError:
+            raise CampaignError(
+                f"shard must be of the form I/K (e.g. 2/4), got {text!r}"
+            ) from None
+        selector.validate()
+        return selector
+
+    # ------------------------------------------------------------ assignment
+    def run_indices(self, total: int) -> List[int]:
+        """The global run indices this shard owns, in ascending order."""
+        self.validate()
+        if self.strategy == "strided":
+            return list(range(self.index - 1, total, self.count))
+        base, remainder = divmod(total, self.count)
+        start = (self.index - 1) * base + min(self.index - 1, remainder)
+        stop = start + base + (1 if self.index - 1 < remainder else 0)
+        return list(range(start, stop))
+
+    def partition(self, manifests: Sequence[RunManifest]) -> List[RunManifest]:
+        """The subset of ``manifests`` this shard executes (global indices kept)."""
+        owned = self.run_indices(len(manifests))
+        return [manifests[index] for index in owned]
+
+    # ----------------------------------------------------------- persistence
+    def as_dict(self) -> Dict[str, Any]:
+        return {"index": self.index, "count": self.count,
+                "strategy": self.strategy}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardSelector":
+        unknown = sorted(set(data) - {"index", "count", "strategy"})
+        if unknown:
+            raise CampaignError(f"unknown shard fields: {unknown}")
+        try:
+            selector = cls(
+                index=int(data["index"]),
+                count=int(data["count"]),
+                strategy=str(data.get("strategy", "contiguous")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CampaignError(f"invalid shard block: {error}") from error
+        selector.validate()
+        return selector
+
+    def manifest_block(self, total: int) -> Dict[str, Any]:
+        """The ``shard`` block recorded in a segment's ``manifest.json``.
+
+        Carries the *explicit* owned run indices alongside the derivable
+        strategy so merges audit segments against their claimed assignment
+        even if the partitioner ever changes.
+        """
+        block = self.as_dict()
+        block["total_runs"] = total
+        block["run_indices"] = self.run_indices(total)
+        return block
+
+
+def all_shards(count: int, strategy: str = "contiguous") -> List[ShardSelector]:
+    """Selectors for every shard of a K-way partition (validated)."""
+    shards = [ShardSelector(index, count, strategy)
+              for index in range(1, count + 1)]
+    for shard in shards:
+        shard.validate()
+    return shards
+
+
+# ----------------------------------------------------------- shard manifests
+def write_shard_manifests(
+    spec: CampaignSpec,
+    directory: Union[str, Path],
+    count: int,
+    strategy: str = "contiguous",
+) -> List[Tuple[Path, ShardSelector, int]]:
+    """Emit one dispatchable shard-manifest JSON file per shard.
+
+    Each file is self-contained — the full campaign spec plus the shard
+    block — so ``repro-campaign run <file> --out DIR`` on any box executes
+    exactly that partition.  Returns ``(path, selector, runs)`` per shard.
+    """
+    manifests = spec.expand()
+    total = len(manifests)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Tuple[Path, ShardSelector, int]] = []
+    for shard in all_shards(count, strategy):
+        payload = {
+            "spec": spec.as_dict(),
+            "shard": shard.manifest_block(total),
+        }
+        path = directory / f"{shard.file_stem()}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        written.append((path, shard, len(shard.run_indices(total))))
+    return written
+
+
+def load_spec_or_shard(
+    path: Union[str, Path],
+) -> Tuple[CampaignSpec, Optional[ShardSelector]]:
+    """Read either a plain campaign spec or a shard-manifest file.
+
+    A shard manifest (written by :func:`write_shard_manifests`) is the
+    ``{"spec": ..., "shard": ...}`` envelope; anything else is parsed as a
+    bare :class:`CampaignSpec`, returning ``(spec, None)``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise CampaignError(f"cannot read campaign spec {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise CampaignError(
+            f"campaign spec {path} is not valid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise CampaignError(f"campaign spec {path} must be a JSON object")
+    if "spec" in data and "shard" in data:
+        spec = CampaignSpec.from_dict(data["spec"])
+        shard = ShardSelector.from_dict(
+            {key: data["shard"][key]
+             for key in ("index", "count", "strategy")
+             if key in data["shard"]}
+        )
+        return spec, shard
+    return CampaignSpec.from_dict(data), None

@@ -2,9 +2,17 @@
 
 Layout of a campaign directory::
 
-    <dir>/manifest.json   # the spec plus the fully expanded run list
-    <dir>/results.jsonl   # one JSON object per completed run
-    <dir>/errors.jsonl    # one JSON object per quarantined (failed) run
+    <dir>/manifest.json      # the spec plus the fully expanded run list
+    <dir>/results.jsonl      # one JSON object per completed run
+    <dir>/errors.jsonl       # one JSON object per quarantined (failed) run
+    <dir>/shard_index.json   # merged stores only: content-hashed segment index
+
+A *shard segment* is a campaign directory whose manifest additionally
+carries a ``shard`` block (index / count / strategy / owned run indices);
+:meth:`ResultStore.merge` folds any number of sibling segments into one
+merged store whose ``results.jsonl`` is byte-identical to a serial run of
+the whole campaign, recording every segment's content hash in
+``shard_index.json``.
 
 Results are appended through one persistent handle as runs complete and
 flushed every ``flush_every`` records (default 1), so an interrupted
@@ -30,11 +38,14 @@ truncating everything past the first bad byte.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
 import math
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.registry import CampaignError
 from repro.campaign.spec import CampaignSpec, RunManifest
@@ -42,6 +53,8 @@ from repro.campaign.spec import CampaignSpec, RunManifest
 MANIFEST_FILE = "manifest.json"
 RESULTS_FILE = "results.jsonl"
 ERRORS_FILE = "errors.jsonl"
+SHARD_INDEX_FILE = "shard_index.json"
+SHARD_INDEX_SCHEMA = 1
 
 
 def _sanitize(value: Any) -> Any:
@@ -87,6 +100,87 @@ def scan_jsonl(path: Path) -> Tuple[List[Dict[str, Any]], int]:
             except json.JSONDecodeError:
                 skipped += 1
     return records, skipped
+
+
+def iter_jsonl(path: Path) -> Iterator[Dict[str, Any]]:
+    """Stream the intact records of a JSONL file one line at a time.
+
+    Same corruption tolerance as :func:`scan_jsonl` (undecodable lines are
+    skipped) but never materialises the file — this is the read path
+    streaming aggregation uses on 10⁵⁺-run stores.
+    """
+    if not path.exists():
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def file_sha256(path: Path) -> str:
+    """Streaming sha256 hexdigest of a file's bytes (empty-file digest if absent)."""
+    digest = hashlib.sha256()
+    if path.exists():
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _shard_label(block: Optional[Dict[str, Any]]) -> str:
+    """Human spelling of a manifest ``shard`` block (``"2/4"`` or ``"none"``)."""
+    if not block:
+        return "none"
+    return f"{block.get('index')}/{block.get('count')}"
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """What :meth:`ResultStore.merge` learned about one shard segment."""
+
+    directory: Path
+    index: int
+    count: int
+    strategy: str
+    run_indices: Tuple[int, ...]
+    records: int
+    skipped_lines: int
+    sha256: str
+
+    def index_entry(self) -> Dict[str, Any]:
+        """This segment's row in ``shard_index.json``."""
+        return {
+            "directory": self.directory.name,
+            "index": self.index,
+            "records": self.records,
+            "first_run_index": self.run_indices[0] if self.run_indices else None,
+            "last_run_index": self.run_indices[-1] if self.run_indices else None,
+            "skipped_lines": self.skipped_lines,
+            "sha256": self.sha256,
+        }
+
+
+@dataclass
+class MergeResult:
+    """Outcome of :meth:`ResultStore.merge`."""
+
+    directory: Path
+    segments: List[SegmentInfo]
+    records: int
+    total_runs: int
+    missing: List[int] = field(default_factory=list)
+    errors: int = 0
+    merged_sha256: str = ""
+    index_path: Optional[Path] = None
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
 
 
 class _AppendFile:
@@ -146,11 +240,21 @@ class ResultStore:
         self.last_repair_skipped: Dict[str, int] = {}
 
     # -------------------------------------------------------------- manifest
-    def write_manifest(self, spec: CampaignSpec, manifests: Sequence[RunManifest]) -> None:
+    def write_manifest(
+        self,
+        spec: CampaignSpec,
+        manifests: Sequence[RunManifest],
+        shard: Optional[Dict[str, Any]] = None,
+    ) -> None:
         payload = {
             "spec": spec.as_dict(),
             "runs": [manifest.as_dict() for manifest in manifests],
         }
+        if shard is not None:
+            # A shard segment records its claimed assignment explicitly so a
+            # merge audits segments against what they owned, not against a
+            # re-derived partition.
+            payload["shard"] = shard
         self._atomic_write(self.manifest_path, _dumps(payload))
 
     def load_manifest(self) -> Optional[Dict[str, Any]]:
@@ -160,7 +264,10 @@ class ResultStore:
             return json.load(handle)
 
     def check_manifest(
-        self, spec: CampaignSpec, manifests: Optional[Sequence[RunManifest]] = None
+        self,
+        spec: CampaignSpec,
+        manifests: Optional[Sequence[RunManifest]] = None,
+        shard: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Refuse to resume into a directory holding a *different* campaign.
 
@@ -177,6 +284,18 @@ class ResultStore:
                 f"campaign directory {self.directory} already holds campaign "
                 f"{existing.get('spec', {}).get('name')!r} with a different spec; "
                 "pass a fresh directory or the matching spec"
+            )
+        # Shard identity first: "wrong shard" is the actionable message when
+        # both it and the (consequent) run-list difference apply.
+        existing_shard = existing.get("shard")
+        fresh_shard = (None if shard is None
+                       else json.loads(_dumps({"shard": shard}))["shard"])
+        if existing_shard != fresh_shard:
+            raise CampaignError(
+                f"campaign directory {self.directory} holds shard "
+                f"{_shard_label(existing_shard)} but this session is running "
+                f"shard {_shard_label(fresh_shard)}; resume the matching shard "
+                "or pass a fresh directory"
             )
         if manifests is not None:
             # Normalise through the same JSON encoding the manifest was
@@ -217,6 +336,21 @@ class ResultStore:
         """All intact quarantine records on disk."""
         self._errors.flush()
         return scan_jsonl(self.errors_path)[0]
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """Stream result records in file order without materialising them.
+
+        This is the aggregation read path for fleet-scale stores: a report
+        over 10⁵ runs holds one record at a time.  On a finalized (or
+        merged) store file order *is* run-index order; on a live store it is
+        completion order, exactly like the file itself.
+        """
+        self._results.flush()  # make buffered appends visible to the read
+        return iter_jsonl(self.results_path)
+
+    def head_records(self, limit: int) -> List[Dict[str, Any]]:
+        """The first ``limit`` intact records (bounded peek, never a full read)."""
+        return list(itertools.islice(self.iter_records(), limit))
 
     def completed(self) -> Dict[int, Dict[str, Any]]:
         """Completed records keyed by run index (last write wins)."""
@@ -277,6 +411,189 @@ class ResultStore:
         elif self.errors_path.exists():
             self.errors_path.unlink()
         return ordered
+
+    # ----------------------------------------------------------------- merge
+    def merge(
+        self,
+        segments: Sequence[Union[str, Path]],
+        *,
+        allow_partial: bool = False,
+    ) -> MergeResult:
+        """Fold finalized shard segments into this store, byte-identically.
+
+        Every segment must be a campaign directory whose manifest carries a
+        ``shard`` block over the *same* spec and partition shape.  Segments
+        are read tolerantly (corrupt lines skipped and reported, inputs
+        never mutated — per-segment :meth:`repair` is the fix-up path) and
+        the merged ``results.jsonl`` is rewritten in run-index order through
+        the same canonical encoding the workers used, so a complete merge is
+        byte-identical to a serial run of the whole campaign.  The merged
+        manifest carries *no* shard block for the same reason.
+
+        Missing shards or missing runs raise (naming the culprits) unless
+        ``allow_partial`` — a partial merge still writes everything it has,
+        plus a ``shard_index.json`` recording each segment's content hash.
+        """
+        if not segments:
+            raise CampaignError("merge needs at least one shard segment")
+        seen_dirs = set()
+        parsed: List[Tuple[Path, Dict[str, Any]]] = []
+        for segment in segments:
+            directory = Path(segment)
+            resolved = directory.resolve()
+            if resolved == self.directory.resolve():
+                raise CampaignError(
+                    f"merge output {self.directory} cannot also be a segment")
+            if resolved in seen_dirs:
+                raise CampaignError(f"segment {directory} listed twice")
+            seen_dirs.add(resolved)
+            manifest_path = directory / MANIFEST_FILE
+            if not manifest_path.exists():
+                raise CampaignError(
+                    f"segment {directory} has no {MANIFEST_FILE}; "
+                    "was the shard run finalized?")
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if not isinstance(manifest.get("shard"), dict):
+                raise CampaignError(
+                    f"segment {directory} is not a shard segment "
+                    "(manifest has no shard block)")
+            parsed.append((directory, manifest))
+
+        spec_dict = parsed[0][1]["spec"]
+        shape = parsed[0][1]["shard"]
+        count = int(shape["count"])
+        strategy = str(shape.get("strategy", "contiguous"))
+        total_runs = int(shape["total_runs"])
+        seen_indices: Dict[int, Path] = {}
+        owned: Dict[int, Path] = {}
+        runs_by_index: Dict[int, Dict[str, Any]] = {}
+        infos: List[SegmentInfo] = []
+        merged_records: Dict[int, Dict[str, Any]] = {}
+        merged_errors: Dict[int, Dict[str, Any]] = {}
+        for directory, manifest in parsed:
+            block = manifest["shard"]
+            if manifest["spec"] != spec_dict:
+                raise CampaignError(
+                    f"segment {directory} holds a different campaign spec "
+                    f"than {parsed[0][0]}")
+            if (int(block["count"]), str(block.get("strategy", "contiguous")),
+                    int(block["total_runs"])) != (count, strategy, total_runs):
+                raise CampaignError(
+                    f"segment {directory} has partition shape "
+                    f"{block.get('count')}-way/{block.get('strategy')!r} over "
+                    f"{block.get('total_runs')} runs; expected "
+                    f"{count}-way/{strategy!r} over {total_runs}")
+            index = int(block["index"])
+            if index in seen_indices:
+                raise CampaignError(
+                    f"shard {index}/{count} appears in both "
+                    f"{seen_indices[index]} and {directory}")
+            seen_indices[index] = directory
+            claimed = tuple(int(i) for i in block["run_indices"])
+            for run_index in claimed:
+                if run_index in owned:
+                    raise CampaignError(
+                        f"run index {run_index} claimed by both "
+                        f"{owned[run_index]} and {directory}")
+                owned[run_index] = directory
+            for run in manifest.get("runs", []):
+                runs_by_index[run["run_index"]] = run
+            claimed_set = frozenset(claimed)
+            records, skipped = scan_jsonl(directory / RESULTS_FILE)
+            segment_count = 0
+            for record in records:
+                run_index = record["run_index"]
+                if run_index not in claimed_set:
+                    raise CampaignError(
+                        f"segment {directory} contains run index {run_index} "
+                        f"outside its claimed assignment (shard {index}/{count})")
+                merged_records[run_index] = record
+                segment_count += 1
+            for error in scan_jsonl(directory / ERRORS_FILE)[0]:
+                merged_errors[error["run_index"]] = error
+            infos.append(SegmentInfo(
+                directory=directory,
+                index=index,
+                count=count,
+                strategy=strategy,
+                run_indices=claimed,
+                records=segment_count,
+                skipped_lines=skipped,
+                sha256=file_sha256(directory / RESULTS_FILE),
+            ))
+        infos.sort(key=lambda info: info.index)
+
+        missing_shards = sorted(set(range(1, count + 1)) - set(seen_indices))
+        missing_runs = sorted(set(owned) - set(merged_records))
+        # Runs owned by no provided segment are missing too (partial fan-in).
+        missing_runs += sorted(set(range(total_runs)) - set(owned))
+        missing_runs = sorted(set(missing_runs))
+        if not allow_partial:
+            if missing_shards:
+                raise CampaignError(
+                    f"merge is missing shard(s) "
+                    f"{', '.join(f'{i}/{count}' for i in missing_shards)}; "
+                    "pass their segments or use allow_partial")
+            if missing_runs:
+                preview = ", ".join(str(i) for i in missing_runs[:8])
+                more = "..." if len(missing_runs) > 8 else ""
+                raise CampaignError(
+                    f"merge is missing {len(missing_runs)} run(s) "
+                    f"(run_index {preview}{more}); resume the owning shard(s) "
+                    "or use allow_partial")
+
+        existing = self.load_manifest()
+        if existing is not None and existing.get("spec") != spec_dict:
+            raise CampaignError(
+                f"merge output {self.directory} already holds a different "
+                "campaign; pass a fresh directory")
+
+        # The merged manifest is the serial manifest: full run list, no
+        # shard block — byte-identical to what a serial session writes.
+        ordered_runs = [runs_by_index[i] for i in sorted(runs_by_index)]
+        self._atomic_write(self.manifest_path,
+                           _dumps({"spec": spec_dict, "runs": ordered_runs}))
+        self.close()  # the atomic replaces below would orphan open handles
+        ordered = [merged_records[i] for i in sorted(merged_records)]
+        self._atomic_write(self.results_path,
+                           "".join(_dumps(record) + "\n" for record in ordered))
+        error_list = [merged_errors[i] for i in sorted(merged_errors)]
+        if error_list:
+            self._atomic_write(
+                self.errors_path,
+                "".join(_dumps(record) + "\n" for record in error_list))
+        elif self.errors_path.exists():
+            self.errors_path.unlink()
+
+        merged_sha = file_sha256(self.results_path)
+        index_path = self.directory / SHARD_INDEX_FILE
+        index_payload = {
+            "schema": SHARD_INDEX_SCHEMA,
+            "campaign": spec_dict.get("name"),
+            "scenario": spec_dict.get("scenario"),
+            "shard_count": count,
+            "strategy": strategy,
+            "total_runs": total_runs,
+            "merged_records": len(ordered),
+            "merged_errors": len(error_list),
+            "missing_runs": missing_runs,
+            "merged_sha256": merged_sha,
+            "segments": [info.index_entry() for info in infos],
+        }
+        self._atomic_write(index_path,
+                           json.dumps(index_payload, indent=2, sort_keys=True)
+                           + "\n")
+        return MergeResult(
+            directory=self.directory,
+            segments=infos,
+            records=len(ordered),
+            total_runs=total_runs,
+            missing=missing_runs,
+            errors=len(error_list),
+            merged_sha256=merged_sha,
+            index_path=index_path,
+        )
 
     # --------------------------------------------------------------- helpers
     def _atomic_write(self, path: Path, content: str) -> None:

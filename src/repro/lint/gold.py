@@ -1,0 +1,119 @@
+"""GOLD01: golden-regeneration hygiene (``python -m repro.lint.gold``).
+
+The determinism gate pins kernel/bus/scenario behaviour in
+``tests/data/golden_traces.json``.  Regenerating that file is a *semantic*
+change and the project contract (ROADMAP "Determinism gate") requires the
+change log to say so.  This check enforces the contract on a revision
+range: if the range touches the golden file, the same range must add a
+``CHANGES.md`` line mentioning regeneration.
+
+Unlike the ``repro.lint`` AST rules this is a *diff* property, not a
+source property, so it runs as its own entry point against two git refs
+(CI passes the PR base)::
+
+    python -m repro.lint.gold --base origin/main
+
+Exit status: 0 clean, 1 violation, 2 usage/git error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from typing import List, Optional, Sequence
+
+RULE_ID = "GOLD01"
+RULE_SUMMARY = ("golden_traces.json changed without a CHANGES.md entry "
+                "mentioning regeneration")
+
+#: The pinned determinism artifact this rule guards.
+GOLDEN_PATH = "tests/data/golden_traces.json"
+
+#: The change log that must acknowledge a regeneration.
+CHANGELOG_PATH = "CHANGES.md"
+
+#: An added change-log line acknowledges the regeneration if it matches.
+REGEN_PATTERN = re.compile(r"regenerat", re.IGNORECASE)
+
+
+class GitError(RuntimeError):
+    """A git invocation failed (bad ref, not a repository, ...)."""
+
+
+def _git(repo: str, *argv: str) -> str:
+    result = subprocess.run(
+        ["git", "-C", repo, *argv],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        command = " ".join(("git",) + argv)
+        raise GitError(f"{command!r} failed: {result.stderr.strip()}")
+    return result.stdout
+
+
+def changed_paths(repo: str, base: str, head: str) -> List[str]:
+    """Repo-relative paths touched between ``base`` and ``head``."""
+    output = _git(repo, "diff", "--name-only", f"{base}..{head}")
+    return [line.strip() for line in output.splitlines() if line.strip()]
+
+
+def added_changelog_lines(repo: str, base: str, head: str) -> List[str]:
+    """Lines *added* to CHANGES.md between ``base`` and ``head``."""
+    output = _git(repo, "diff", "--unified=0", f"{base}..{head}",
+                  "--", CHANGELOG_PATH)
+    added: List[str] = []
+    for line in output.splitlines():
+        if line.startswith("+") and not line.startswith("+++"):
+            added.append(line[1:])
+    return added
+
+
+def check_range(repo: str, base: str, head: str) -> Optional[str]:
+    """The GOLD01 violation message for this range, or None if clean."""
+    touched = changed_paths(repo, base, head)
+    if GOLDEN_PATH not in touched:
+        return None
+    acknowledgement = [line for line in added_changelog_lines(repo, base, head)
+                       if REGEN_PATTERN.search(line)]
+    if acknowledgement:
+        return None
+    return (
+        f"{GOLDEN_PATH}: {RULE_ID} {RULE_SUMMARY} — this range rewrites the "
+        f"pinned determinism goldens; regenerate intentionally via "
+        f"'PYTHONPATH=src python tests/golden_workload.py' and add a "
+        f"{CHANGELOG_PATH} line saying the goldens were regenerated (and why)"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.gold",
+        description="Fail if golden_traces.json changed without a CHANGES.md "
+                    "entry mentioning regeneration.",
+    )
+    parser.add_argument("--base", required=True,
+                        help="base git ref of the range under review "
+                             "(e.g. origin/main or the PR base SHA)")
+    parser.add_argument("--head", default="HEAD",
+                        help="head git ref of the range (default: HEAD)")
+    parser.add_argument("--repo", default=".",
+                        help="repository to inspect (default: cwd)")
+    args = parser.parse_args(argv)
+    try:
+        violation = check_range(args.repo, args.base, args.head)
+    except GitError as error:
+        print(f"gold: {error}", file=sys.stderr)
+        return 2
+    if violation is not None:
+        print(violation)
+        return 1
+    print(f"gold: {GOLDEN_PATH} unchanged or regeneration acknowledged "
+          f"({args.base}..{args.head})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -56,5 +56,14 @@ def all_rules() -> List[Rule]:
 
 
 def rule_catalog() -> Dict[str, str]:
-    """``rule id -> one-line summary`` for ``--list-rules`` and docs."""
-    return {rule.id: rule.summary for rule in all_rules()}
+    """``rule id -> one-line summary`` for ``--list-rules`` and docs.
+
+    GOLD01 is listed for discoverability but is not an AST rule: it is a
+    *diff* property checked by ``python -m repro.lint.gold`` against a git
+    revision range (see :mod:`repro.lint.gold`).
+    """
+    from repro.lint import gold
+
+    catalog = {rule.id: rule.summary for rule in all_rules()}
+    catalog[gold.RULE_ID] = gold.RULE_SUMMARY
+    return catalog

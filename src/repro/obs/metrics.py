@@ -330,7 +330,7 @@ class CampaignInstruments:
     """
 
     __slots__ = ("runs", "run_wall_s", "runs_retried", "runs_quarantined",
-                 "worker_restarts", "faults_injected")
+                 "worker_restarts", "faults_injected", "shards_merged")
 
     def __init__(self, reg: MetricsRegistry) -> None:
         self.runs = reg.counter("campaign.runs")
@@ -339,6 +339,7 @@ class CampaignInstruments:
         self.runs_quarantined = reg.counter("campaign.runs_quarantined")
         self.worker_restarts = reg.counter("campaign.worker_restarts")
         self.faults_injected = reg.counter("campaign.faults_injected")
+        self.shards_merged = reg.counter("campaign.shards_merged")
 
 
 def kernel_instruments() -> Optional[KernelInstruments]:

@@ -14,6 +14,7 @@ Four layers of assurance:
 """
 
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -143,6 +144,7 @@ class TestSelfClean:
         listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
         assert listed == {
             "DET01", "DET02", "DET03", "DET04",
+            "GOLD01",
             "HOT01", "HOT02", "HOT03",
             "LAYER01", "LAYER02", "LAYER03",
             "LINT01",
@@ -238,3 +240,77 @@ class TestBaselineRoundTrip:
         (pkg / "mod.py").write_text("X = 1\n\n\n" + VIOLATING)
         moved = self._cli(tmp_path, "--baseline", "b.json")
         assert moved.returncode == 0, moved.stdout
+
+
+class TestGoldenRegenerationHygiene:
+    """GOLD01: touching golden_traces.json requires a CHANGES.md entry
+    mentioning regeneration (checked over a git range by repro.lint.gold)."""
+
+    GOLDEN = "tests/data/golden_traces.json"
+
+    def _git(self, repo, *argv):
+        subprocess.run(["git", "-C", str(repo), *argv], check=True,
+                       capture_output=True)
+
+    def _repo(self, tmp_path):
+        repo = tmp_path / "scratch"
+        (repo / "tests" / "data").mkdir(parents=True)
+        self._git(tmp_path, "init", str(repo))
+        self._git(repo, "config", "user.email", "ci@example.invalid")
+        self._git(repo, "config", "user.name", "ci")
+        (repo / self.GOLDEN).write_text('{"digest": "aaa"}\n')
+        (repo / "CHANGES.md").write_text("- seed entry\n")
+        self._git(repo, "add", "-A")
+        self._git(repo, "commit", "-qm", "seed")
+        return repo
+
+    def _gold(self, repo, base):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint.gold",
+             "--base", base, "--repo", str(repo)],
+            capture_output=True, text=True, env=env)
+
+    def test_unacknowledged_golden_change_fails(self, tmp_path):
+        repo = self._repo(tmp_path)
+        (repo / self.GOLDEN).write_text('{"digest": "bbb"}\n')
+        self._git(repo, "commit", "-aqm", "drift")
+        result = self._gold(repo, "HEAD~1")
+        assert result.returncode == 1
+        assert "GOLD01" in result.stdout
+
+    def test_acknowledged_regeneration_passes(self, tmp_path):
+        repo = self._repo(tmp_path)
+        (repo / self.GOLDEN).write_text('{"digest": "bbb"}\n')
+        with open(repo / "CHANGES.md", "a") as handle:
+            handle.write("- PR 9: regenerated goldens for the new scenario\n")
+        self._git(repo, "commit", "-aqm", "intentional")
+        result = self._gold(repo, "HEAD~1")
+        assert result.returncode == 0, result.stdout
+
+    def test_changelog_without_regeneration_word_still_fails(self, tmp_path):
+        repo = self._repo(tmp_path)
+        (repo / self.GOLDEN).write_text('{"digest": "bbb"}\n')
+        with open(repo / "CHANGES.md", "a") as handle:
+            handle.write("- PR 9: assorted fixes\n")
+        self._git(repo, "commit", "-aqm", "sneaky")
+        result = self._gold(repo, "HEAD~1")
+        assert result.returncode == 1
+
+    def test_untouched_goldens_pass_without_changelog(self, tmp_path):
+        repo = self._repo(tmp_path)
+        (repo / "other.py").write_text("x = 1\n")
+        self._git(repo, "add", "-A")
+        self._git(repo, "commit", "-qm", "unrelated")
+        result = self._gold(repo, "HEAD~1")
+        assert result.returncode == 0
+
+    def test_bad_ref_is_a_usage_error(self, tmp_path):
+        repo = self._repo(tmp_path)
+        result = self._gold(repo, "no-such-ref")
+        assert result.returncode == 2
+
+    def test_rule_catalog_lists_gold01(self):
+        from repro.lint.rules import rule_catalog
+        assert "GOLD01" in rule_catalog()
