@@ -31,6 +31,7 @@ from repro.analysis.metrics import SafetyOutcome, aggregate_outcomes
 from repro.analysis.stats import Summary, summarise
 from repro.analysis.tables import Table
 from repro.campaign.registry import CampaignError
+from repro.campaign.spec import axis_id_value
 
 GroupKey = Tuple[Any, ...]
 
@@ -38,13 +39,19 @@ STATISTICS = ("mean", "median", "min", "max", "std")
 
 
 def _lookup(record: Mapping[str, Any], key: str) -> Any:
-    """A grouping key may live in the params, the result, or the record itself."""
-    if key in record.get("params", {}):
-        return record["params"][key]
-    if key in record.get("result", {}):
-        return record["result"][key]
-    if key in record:
-        return record[key]
+    """A grouping key may live in the params, the result, or the record itself.
+
+    Structured values (dict/list axes such as a swept ``topology``) are
+    rendered through :func:`~repro.campaign.spec.axis_id_value`, so group
+    keys stay hashable and tables show the same content digest the run ids
+    carry; scalar values pass through unchanged.
+    """
+    for source in (record.get("params", {}), record.get("result", {}), record):
+        if key in source:
+            value = source[key]
+            if isinstance(value, (dict, list)):
+                return axis_id_value(value)
+            return value
     raise CampaignError(f"record {record.get('run_id')!r} has no field {key!r}")
 
 

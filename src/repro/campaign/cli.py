@@ -21,6 +21,12 @@ Commands
     Aggregate a stored campaign into a summary table via streaming
     (record-at-a-time) aggregation — a 100k-run store is never loaded
     into memory.
+``topology SPEC.json``
+    Expand a declarative hospital :class:`~repro.topology.spec.TopologySpec`
+    into its deterministic manifest (canonical JSON): which patients occupy
+    which beds, each bed's device stack and channels, and per-ward cohort
+    composition.  The manifest depends only on (spec, seed) — the
+    byte-identity surface the topology tests pin.
 
 All commands emit through the :mod:`repro.obs.logging` facade: ``--json``
 switches every line to NDJSON events (tables are emitted structurally as
@@ -156,6 +162,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="comma-separated result metrics (default: scenario schema)")
     report.add_argument("--statistic", default="mean",
                         choices=("mean", "median", "min", "max", "std"))
+
+    topology = commands.add_parser(
+        "topology", parents=[output],
+        help="expand a hospital topology spec into its deterministic manifest")
+    topology.add_argument("spec", help="path to a TopologySpec JSON file")
+    topology.add_argument("--seed", type=int, default=0,
+                          help="expansion seed (default 0); identical "
+                               "(spec, seed) pairs expand byte-identically")
+    topology.add_argument("--out", default=None, metavar="PATH",
+                          help="write the canonical manifest JSON to PATH "
+                               "(default: print a summary only)")
     return parser
 
 
@@ -405,6 +422,36 @@ def _cmd_report(args: argparse.Namespace, log: StructLogger) -> int:
     return 0
 
 
+def _cmd_topology(args: argparse.Namespace, log: StructLogger) -> int:
+    # Imported here so the topology layer stays optional for the other
+    # subcommands; expansion failures surface as CampaignError -> exit 2.
+    from repro.topology import (TopologyError, TopologySpec, cohort_counts,
+                                expand_topology, manifest_json)
+
+    try:
+        spec = TopologySpec.from_file(args.spec)
+        manifest = expand_topology(spec, args.seed)
+        canonical = manifest_json(spec, args.seed)
+    except TopologyError as error:
+        raise CampaignError(f"invalid topology spec: {error}") from None
+    cohorts = cohort_counts(manifest)
+    cohort_note = ", ".join(f"{name}={count}"
+                            for name, count in sorted(cohorts.items()))
+    log.info(f"topology {spec.name!r} @ seed {args.seed}: "
+             f"{len(spec.wards)} ward(s), {spec.total_beds} beds, "
+             f"{spec.total_caregivers()} caregiver(s); cohorts: {cohort_note}",
+             event="topology-expanded", topology=spec.name, seed=args.seed,
+             wards=len(spec.wards), beds=spec.total_beds,
+             caregivers=spec.total_caregivers(), cohorts=cohorts)
+    if args.out is not None:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(canonical + "\n", encoding="utf-8")
+        log.info(f"manifest ({len(canonical)} bytes) -> {out}",
+                 event="manifest-written", path=str(out), bytes=len(canonical))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     log = _make_logger(args)
@@ -419,6 +466,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_merge(args, log)
         if args.command == "report":
             return _cmd_report(args, log)
+        if args.command == "topology":
+            return _cmd_topology(args, log)
     except CampaignError as error:
         log.error(f"error: {error}", event="error", error=str(error))
         return 2

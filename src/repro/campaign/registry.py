@@ -10,6 +10,7 @@ ever crosses the process boundary.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -94,9 +95,17 @@ class ScenarioSpec:
             )
 
     def resolved_params(self, params: Mapping[str, Any]) -> Dict[str, Any]:
-        """Defaults overlaid with ``params`` (auto params passed through)."""
+        """Defaults overlaid with ``params`` (auto params passed through).
+
+        Structured defaults (dicts/lists, e.g. a topology spec) are deep
+        copied: manifests outlive this call, and a runner mutating its params
+        in one run must never leak into the shared default of the next.
+        """
         self.validate_params(params)
-        resolved = dict(self.defaults)
+        resolved = {
+            key: copy.deepcopy(value) if isinstance(value, (dict, list)) else value
+            for key, value in self.defaults.items()
+        }
         resolved.update(params)
         return resolved
 

@@ -12,6 +12,7 @@ never on execution order, worker placement, or resume history.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import asdict, dataclass, field, replace
@@ -40,6 +41,20 @@ class RunManifest:
 
 #: Fault-entry fields that may be swept (list-valued) in a ``faults`` block.
 SWEEPABLE_FAULT_FIELDS = ("start", "duration", "target")
+
+
+def axis_id_value(value: Any) -> str:
+    """Render one bound axis value for a run id.
+
+    Scalars keep their plain ``str`` form (existing run ids must not move).
+    Structured values — topology specs and other dict/list sweeps — are
+    digested over their canonical JSON: the id stays short and stable, and
+    never embeds ``&``/``=``/whitespace from the structure itself.
+    """
+    if isinstance(value, (dict, list)):
+        canonical = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+    return str(value)
 
 
 @dataclass
@@ -238,7 +253,8 @@ class CampaignSpec:
                     params.update(bound)
                     if fault_plan is not None:
                         params["fault_plan"] = fault_plan
-                    id_parts = [f"{axis}={bound[axis]}" for axis in axes]
+                    id_parts = [f"{axis}={axis_id_value(bound[axis])}"
+                                for axis in axes]
                     if patient_index is not None:
                         params["patient_index"] = patient_index
                         params["cohort_seed"] = cohort_seed

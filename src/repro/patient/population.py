@@ -120,6 +120,13 @@ class PatientPopulation:
             raise ValueError("count must be non-negative")
         if not 0 <= sensitive_fraction <= 1 or not 0 <= athlete_fraction <= 1:
             raise ValueError("fractions must be within [0, 1]")
+        if sensitive_fraction + athlete_fraction > 1:
+            # A silent pass here truncates the athlete band (the roll can
+            # never exceed 1), skewing the stratification with no error.
+            raise ValueError(
+                "sensitive_fraction + athlete_fraction must not exceed 1 "
+                f"(got {sensitive_fraction} + {athlete_fraction})"
+            )
         patients = []
         for index in range(count):
             roll = self._rng.random()

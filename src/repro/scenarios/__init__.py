@@ -42,6 +42,7 @@ from repro.scenarios.home import (
     run_home_campaign,
 )
 from repro.scenarios.chaos import run_chaos_campaign
+from repro.scenarios.ward import run_ward_campaign
 
 __all__ = [
     "build_pca_scenario_spec",
@@ -60,4 +61,5 @@ __all__ = [
     "run_proton_campaign",
     "run_home_campaign",
     "run_chaos_campaign",
+    "run_ward_campaign",
 ]

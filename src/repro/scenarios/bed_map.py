@@ -126,8 +126,20 @@ class BedMapScenario:
             self._episode_intervals.append((start, end))
             self.simulator.schedule_at(start, lambda: self.patient.map_model.set_target_map(
                 config.hypotension_map_mmhg), name=f"hypotension_start_{index}")
-            self.simulator.schedule_at(end, lambda: self.patient.map_model.set_target_map(
-                self.patient.map_model.parameters.baseline_map_mmhg), name=f"hypotension_end_{index}")
+            self.simulator.schedule_at(end, lambda i=index: self._end_hypotension_episode(i),
+                                       name=f"hypotension_end_{index}")
+
+    def _end_hypotension_episode(self, index: int) -> None:
+        # With overlapping episodes, the earlier episode's end must not reset
+        # the target MAP to baseline while a later episode is still running —
+        # that would silently weaken the injected ground truth the confusion
+        # matrix is scored against.  Restore only once no other episode covers
+        # the current time.
+        now = self.simulator.now
+        for other, (start, end) in enumerate(self._episode_intervals):
+            if other != index and start <= now < end:
+                return
+        self.patient.map_model.set_target_map(self.patient.map_model.parameters.baseline_map_mmhg)
 
     def _move_bed(self, height_cm: float) -> None:
         self.bed.set_height(height_cm)

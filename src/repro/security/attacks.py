@@ -81,7 +81,12 @@ class AttackCampaign:
         authenticated = self._attempt_authentication(attack)
         if not authenticated:
             return AttackResult(attack, AttackOutcome.BLOCKED_AUTHENTICATION, "authentication failed")
-        self.policy.mark_authenticated(attack.attacker)
+        if self.policy.require_authentication:
+            # Only a real authenticator exchange earns a policy session.
+            # When the posture skips authentication the policy never checks
+            # the session set, and marking here would pollute it across the
+            # rest of the campaign (and any posture change mid-experiment).
+            self.policy.mark_authenticated(attack.attacker)
         allowed, reason = self.policy.authorise(attack.attacker, attack.target_device, attack.command)
         if allowed:
             return AttackResult(attack, AttackOutcome.SUCCEEDED, reason)

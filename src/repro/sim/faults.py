@@ -175,8 +175,16 @@ class FaultInjector:
             self._schedule(spec)
 
     def _schedule(self, spec: FaultSpec) -> None:
+        # add()-after-arm() may carry a start already in the past (generated
+        # fault plans are laid out against t=0, not against when the injector
+        # learns about them).  The kernel rejects stale times, so clamp to
+        # ``now``: the fault still fires, with its extent measured from the
+        # original spec (``spec.end`` is unchanged).
+        start = spec.start
+        if start < self.simulator.now:
+            start = self.simulator.now
         self.simulator.schedule_at(
-            spec.start,
+            start,
             lambda s=spec: self._apply(s),
             name=f"fault:{spec.kind}:{spec.target}",
         )

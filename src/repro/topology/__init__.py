@@ -1,0 +1,60 @@
+"""Declarative hospital topologies and scenario-family generators.
+
+``repro.topology`` turns a JSON-roundtrippable :class:`TopologySpec`
+(wards x beds x device mixes x staffing x cohort fractions x fault
+profiles) into a deterministic manifest and a fully wired simulation, and
+generates the fault schedules and attack campaigns that sweep the paper's
+Section II(c)/III(m) machinery at hospital scale.  The ``ward`` campaign
+scenario (:mod:`repro.scenarios.ward`) exposes all of it to the sharded
+campaign pipeline.
+"""
+
+from repro.topology.expand import (
+    AlarmThresholds,
+    HospitalRuntime,
+    build_hospital,
+    cohort_counts,
+    expand_topology,
+    manifest_device_ids,
+    manifest_json,
+)
+from repro.topology.generators import (
+    SECURITY_POSTURES,
+    generate_attack_plan,
+    generate_fault_plan,
+    security_for_posture,
+)
+from repro.topology.spec import (
+    DEVICE_TYPES,
+    CohortMix,
+    DeviceMix,
+    FaultProfile,
+    StaffingSpec,
+    TopologyError,
+    TopologySpec,
+    WardSpec,
+    standard_hospital,
+)
+
+__all__ = [
+    "AlarmThresholds",
+    "CohortMix",
+    "DEVICE_TYPES",
+    "DeviceMix",
+    "FaultProfile",
+    "HospitalRuntime",
+    "SECURITY_POSTURES",
+    "StaffingSpec",
+    "TopologyError",
+    "TopologySpec",
+    "WardSpec",
+    "build_hospital",
+    "cohort_counts",
+    "expand_topology",
+    "generate_attack_plan",
+    "generate_fault_plan",
+    "manifest_device_ids",
+    "manifest_json",
+    "security_for_posture",
+    "standard_hospital",
+]

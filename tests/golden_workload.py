@@ -67,6 +67,17 @@ SCENARIO_SPECS: Dict[str, Dict[str, Any]] = {
                  "duration": [60.0, 180.0], "target": "uplink:pulse-ox-1"}],
         base_seed=123,
     ),
+    # The topology-driven hospital ward: pins the whole generated-scenario
+    # stack (TopologySpec expansion, fault/attack plan generation, posture
+    # policies, the wired ward runtime) as campaign result bytes across two
+    # security postures on the default 6-bed topology.
+    "ward": dict(
+        name="golden-ward",
+        scenario="ward",
+        parameters={"security_posture": ["open", "allowlisted"],
+                    "duration_s": 300.0},
+        base_seed=7,
+    ),
 }
 
 
